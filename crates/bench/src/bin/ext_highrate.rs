@@ -1,0 +1,60 @@
+//! Extension experiment (§5.3): the Internet2-style test. Backbone links
+//! run well below saturation ("network operators usually run backbone
+//! links at loads of 10%-30%", §5.1); the paper's preliminary 10 Gb/s
+//! experiment ran a router at 0.5% of its default buffer and saw *no
+//! measurable degradation in quality of service*.
+//!
+//! We reproduce that setting: a high-rate link at ~25% offered load, with
+//! buffers from the full rule-of-thumb down to 0.5% of it, reporting
+//! throughput (≈ offered load when nothing breaks), drop rate, and the
+//! short-flow AFCT — the QoS metrics a tiny buffer could hurt.
+
+use buffersizing::prelude::*;
+use buffersizing::report::Table;
+use buffersizing::runner::ShortFlowScenario;
+use traffic::FlowLengthDist;
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("High-rate small-buffer scaling (Section 5.3)", quick);
+    let rate: u64 = if quick { 200_000_000 } else { 1_000_000_000 };
+    let load = 0.25;
+    let mut base = ShortFlowScenario::paper_default(rate, load);
+    base.lengths = FlowLengthDist::Pareto {
+        mean: 40.0,
+        shape: 1.5,
+    };
+    base.host_pairs = 40;
+    base.horizon = if quick {
+        SimDuration::from_secs(5)
+    } else {
+        SimDuration::from_secs(20)
+    };
+    let bdp = theory::bdp_packets(rate as f64, 0.08, 1000);
+
+    let mut t = Table::new(&[
+        "buffer",
+        "% of RTTxC",
+        "throughput/offered",
+        "drop rate",
+        "AFCT",
+    ]);
+    let offered = load * rate as f64;
+    for frac in [1.0, 0.1, 0.02, 0.005] {
+        let mut sc = base.clone();
+        sc.buffer_pkts = (bdp * frac).round().max(2.0) as usize;
+        let r = sc.run();
+        t.row(&[
+            format!("{} pkts", sc.buffer_pkts),
+            format!("{:.1}%", frac * 100.0),
+            format!("{:.1}%", r.utilization * rate as f64 / offered * 100.0),
+            format!("{:.4}%", r.drop_rate * 100.0),
+            format!("{:.3} s", r.afct),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper §5.3: at backbone loads, 0.5% of the rule-of-thumb buffer causes no\n \
+         measurable QoS degradation — throughput tracks offered load and AFCT is flat.)"
+    );
+}

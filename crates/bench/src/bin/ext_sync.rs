@@ -1,0 +1,68 @@
+//! Extension experiment (§3 claim): flow synchronization is common for
+//! small n and disappears as n grows — and it requires homogeneity.
+//!
+//! For each flow count we run two setups and report the average pairwise
+//! correlation ρ̄ of the per-flow congestion windows:
+//!
+//! * **homogeneous** — identical RTTs, no send jitter, near-simultaneous
+//!   starts: the conditions under which flows couple and march in
+//!   lockstep;
+//! * **heterogeneous** — the paper's realistic setting (RTTs spread,
+//!   jitter): "small variations in RTT or processing time are sufficient
+//!   to prevent synchronization".
+
+use buffersizing::prelude::*;
+use buffersizing::report::Table;
+
+fn rho(sc: &LongFlowScenario) -> (f64, f64) {
+    let r = sc.run_sampled(Some(SimDuration::from_millis(20)));
+    let rep = pairwise_correlation(&r.per_flow_window_samples);
+    (rep.rho, r.utilization)
+}
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Synchronization vs number of flows (Section 3)", quick);
+    let counts: Vec<usize> = if quick {
+        vec![2, 8, 32]
+    } else {
+        vec![2, 5, 10, 25, 50, 100, 200, 400]
+    };
+    let mut t = Table::new(&[
+        "n",
+        "rho (homogeneous)",
+        "rho (heterogeneous)",
+        "util (heterogeneous)",
+    ]);
+    for &n in &counts {
+        let mut base = if quick {
+            LongFlowScenario::quick(n, 30_000_000)
+        } else {
+            LongFlowScenario::oc3(n)
+        };
+        let bdp = base.bdp_packets();
+        base.buffer_pkts = (bdp / (n as f64).sqrt()).round().max(4.0) as usize;
+
+        // Homogeneous: identical RTTs, no jitter, tight start window.
+        let mut homo = base.clone();
+        let mid = (homo.rtt_range.0 + homo.rtt_range.1) / 2;
+        homo.rtt_range = (mid, mid);
+        homo.jitter = None;
+        homo.start_window = SimDuration::from_millis(500);
+        let (rho_h, _) = rho(&homo);
+
+        let (rho_x, util_x) = rho(&base);
+        t.row(&[
+            n.to_string(),
+            format!("{rho_h:.3}"),
+            format!("{rho_x:.3}"),
+            format!("{:.1}%", util_x * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(rho near 1 = in-phase synchronization; near 0 = desynchronized. The paper: \
+         synchronization is common below ~100 homogeneous flows, rare above ~500, and\n \
+         RTT diversity alone prevents it — which is what makes the sqrt(n) rule safe.)"
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 4: an underbuffered single flow (B << BDP).
+use buffersizing::figures::single_flow::SingleFlowConfig;
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 4 (underbuffered single flow)", quick);
+    let cfg = if quick {
+        SingleFlowConfig::quick(0.4)
+    } else {
+        SingleFlowConfig::full(0.4)
+    };
+    let tr = cfg.run();
+    println!("{}", tr.render("Figure 4: underbuffered single TCP flow"));
+    println!(
+        "queue-empty sample fraction: {:.3} (link goes idle; throughput lost)",
+        tr.queue_empty_fraction()
+    );
+}

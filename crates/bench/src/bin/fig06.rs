@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: distribution of the aggregate congestion window
+//! and its Gaussian approximation.
+use buffersizing::figures::window_dist::WindowDistConfig;
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 6 (sum-of-windows distribution)", quick);
+    let cfg = if quick {
+        WindowDistConfig::quick(40)
+    } else {
+        WindowDistConfig::full(200)
+    };
+    let r = cfg.run();
+    println!("{}", r.render());
+    println!(
+        "coefficient of variation: {:.4} (CLT: shrinks like 1/sqrt(n))",
+        r.cv()
+    );
+}

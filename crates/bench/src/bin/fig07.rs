@@ -1,0 +1,18 @@
+//! Regenerates Figure 7: minimum buffer for 98/99.5/99.9% utilization vs
+//! the number of long-lived flows, against RTT*C/sqrt(n).
+use buffersizing::figures::min_buffer::{render, MinBufferConfig};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 7 (min buffer vs n)", quick);
+    let cfg = if quick {
+        MinBufferConfig::quick()
+    } else {
+        MinBufferConfig::full()
+    };
+    let pts = cfg.run();
+    println!("{}", render(&pts));
+    if let Some(path) = bench::csv_flag() {
+        bench::write_csv(&path, &buffersizing::figures::min_buffer::to_table(&pts).to_csv());
+    }
+}

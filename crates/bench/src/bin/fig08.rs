@@ -1,0 +1,21 @@
+//! Regenerates Figure 8: minimum buffer keeping short-flow AFCT within
+//! 12.5% of the infinite-buffer AFCT, vs the M/G/1 model.
+use buffersizing::figures::short_flow_buffer::{render, ShortBufferConfig};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 8 (short-flow min buffer)", quick);
+    let cfg = if quick {
+        ShortBufferConfig::quick()
+    } else {
+        ShortBufferConfig::full()
+    };
+    let pts = cfg.run();
+    println!("{}", render(&pts));
+    if let Some(path) = bench::csv_flag() {
+        bench::write_csv(
+            &path,
+            &buffersizing::figures::short_flow_buffer::to_table(&pts).to_csv(),
+        );
+    }
+}

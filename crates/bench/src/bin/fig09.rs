@@ -1,0 +1,14 @@
+//! Regenerates Figure 9: short-flow AFCT with BDP/sqrt(n) vs BDP buffers.
+use buffersizing::figures::afct_comparison::{render, AfctComparisonConfig};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 9 (AFCT comparison)", quick);
+    let cfg = if quick {
+        AfctComparisonConfig::quick()
+    } else {
+        AfctComparisonConfig::full()
+    };
+    let (sqrt_n, rot) = cfg.run();
+    println!("{}", render(&sqrt_n, &rot));
+}

@@ -1,0 +1,25 @@
+//! Runs every artifact regeneration in sequence (the full reproduction).
+//! Pass --quick for a smoke pass.
+use std::process::Command;
+
+fn main() {
+    let quick = bench::quick_flag();
+    let bins = [
+        "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "table10", "table11",
+        "ext_sync", "ext_loss", "ext_highrate", "ext_pacing", "ext_multihop",
+        "ext_ablation",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for b in bins {
+        let path = dir.join(b);
+        let mut cmd = Command::new(&path);
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("running {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+        println!();
+    }
+    println!("== all artifacts regenerated ==");
+}

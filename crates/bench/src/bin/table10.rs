@@ -1,0 +1,23 @@
+//! Regenerates the Figure 10 table: OC3 utilization for n x multiplier,
+//! model vs simulation vs testbed proxy.
+use buffersizing::figures::gsr_table::{render, GsrTableConfig};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 10 table (GSR OC3 utilization)", quick);
+    let cfg = if quick {
+        GsrTableConfig::quick()
+    } else {
+        GsrTableConfig::full()
+    };
+    let bdp = {
+        let mut s = cfg.base.clone();
+        s.n_flows = 1;
+        s.bdp_packets()
+    };
+    let rows = cfg.run();
+    println!("{}", render(&rows, bdp));
+    if let Some(path) = bench::csv_flag() {
+        bench::write_csv(&path, &buffersizing::figures::gsr_table::to_table(&rows).to_csv());
+    }
+}

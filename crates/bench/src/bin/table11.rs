@@ -1,0 +1,17 @@
+//! Regenerates the Figure 11 table: throttled 20 Mb/s production-like link.
+use buffersizing::figures::production::{render, ProductionConfig};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("Figure 11 table (production network)", quick);
+    let cfg = if quick {
+        ProductionConfig::quick()
+    } else {
+        ProductionConfig::full()
+    };
+    let rows = cfg.run();
+    println!("{}", render(&rows, &cfg));
+    if let Some(path) = bench::csv_flag() {
+        bench::write_csv(&path, &buffersizing::figures::production::to_table(&rows).to_csv());
+    }
+}

@@ -1,0 +1,66 @@
+//! # bench — regeneration harness for every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one artifact of *Sizing Router
+//! Buffers* (SIGCOMM 2004) and prints the same rows/series the paper
+//! reports:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig03` / `fig04` / `fig05` | single-flow W(t), Q(t) (exact/under/over-buffered) |
+//! | `fig06` | aggregate-window distribution vs Gaussian |
+//! | `fig07` | minimum buffer vs number of flows |
+//! | `fig08` | short-flow minimum buffer vs M/G/1 model |
+//! | `fig09` | AFCT with BDP/√n vs BDP buffers |
+//! | `table10` | the GSR utilization table (model/sim/proxy) |
+//! | `table11` | the production-network table |
+//! | `ext_sync` | §3 synchronization-vs-n claim |
+//! | `ext_loss` | §5.1.1 loss model ℓ ≈ 0.76/W² |
+//! | `ext_highrate` | §5.3 Internet2-style high-rate scaling |
+//! | `ext_pacing` | paced TCP at tiny buffers (follow-up literature) |
+//! | `ext_multihop` | two congested hops (parking lot ablation) |
+//! | `ext_ablation` | which ingredients create desynchronization |
+//! | `repro` | run everything |
+//!
+//! Every binary accepts `--quick` for a seconds-scale smoke run; the
+//! default is the paper-scale parameterisation. Criterion benches in
+//! `benches/` time the engine primitives and one representative cell per
+//! experiment.
+
+
+#![warn(missing_docs)]
+/// True when `--quick` was passed on the command line.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// When `--csv <path>` was passed, returns the path to write CSV to.
+pub fn csv_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes `csv` to `path` and reports it on stdout.
+pub fn write_csv(path: &str, csv: &str) {
+    std::fs::write(path, csv).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("(CSV written to {path})");
+}
+
+/// Standard preamble printed by every regeneration binary.
+pub fn preamble(artifact: &str, quick: bool) {
+    println!(
+        "== Sizing Router Buffers (SIGCOMM 2004) reproduction — {artifact} ({}) ==\n",
+        if quick { "quick smoke scale" } else { "full scale" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_flag_false_in_tests() {
+        // The test harness args don't include --quick.
+        assert!(!super::quick_flag() || std::env::args().any(|a| a.contains("quick")));
+    }
+}

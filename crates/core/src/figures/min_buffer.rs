@@ -1,0 +1,171 @@
+//! Figure 7: minimum buffer required for a target utilization vs the
+//! number of long-lived flows, compared with `2T̄pC/√n`.
+
+use crate::report::Table;
+use crate::runner::LongFlowScenario;
+use crate::search::min_buffer_for;
+use theory::GaussianWindowModel;
+
+/// One point of the Figure 7 curve.
+#[derive(Clone, Copy, Debug)]
+pub struct MinBufferPoint {
+    /// Number of flows.
+    pub n: usize,
+    /// Utilization target.
+    pub target: f64,
+    /// Measured minimum buffer (packets).
+    pub measured_pkts: usize,
+    /// `BDP/√n` (packets).
+    pub sqrt_n_rule_pkts: f64,
+    /// Gaussian-model prediction (packets).
+    pub model_pkts: f64,
+}
+
+/// Configuration for the minimum-buffer sweep.
+#[derive(Clone, Debug)]
+pub struct MinBufferConfig {
+    /// Base scenario; `n_flows` and `buffer_pkts` are overridden per point.
+    pub base: LongFlowScenario,
+    /// Flow counts to sweep.
+    pub flow_counts: Vec<usize>,
+    /// Utilization targets (the paper plots 98%, 99.5%, 99.9%).
+    pub targets: Vec<f64>,
+}
+
+impl MinBufferConfig {
+    /// Paper scale: OC3, n from 50 to 500. Per-evaluation durations are
+    /// trimmed relative to the other figures because the bisection runs
+    /// ~11 simulations per point.
+    pub fn full() -> Self {
+        let mut base = LongFlowScenario::oc3(0);
+        base.warmup = simcore::SimDuration::from_secs(10);
+        base.measure = simcore::SimDuration::from_secs(30);
+        MinBufferConfig {
+            base,
+            flow_counts: vec![50, 100, 150, 200, 250, 300, 400, 500],
+            targets: vec![0.98, 0.995, 0.999],
+        }
+    }
+
+    /// Smoke scale.
+    pub fn quick() -> Self {
+        let mut base = LongFlowScenario::quick(0, 30_000_000);
+        base.warmup = simcore::SimDuration::from_secs(4);
+        base.measure = simcore::SimDuration::from_secs(10);
+        MinBufferConfig {
+            base,
+            flow_counts: vec![10, 40],
+            targets: vec![0.98],
+        }
+    }
+
+    /// Runs the sweep. The per-point search bisects over buffer sizes, one
+    /// full simulation per evaluation.
+    pub fn run(&self) -> Vec<MinBufferPoint> {
+        let mut out = Vec::new();
+        for &n in &self.flow_counts {
+            for &target in &self.targets {
+                let mut scenario = self.base.clone();
+                scenario.n_flows = n;
+                let bdp = scenario.bdp_packets();
+                let hi = bdp.ceil() as usize + 1;
+                let search = min_buffer_for(
+                    hi,
+                    |b| {
+                        let mut s = scenario.clone();
+                        s.buffer_pkts = b;
+                        s.run().utilization
+                    },
+                    |u| u >= target,
+                );
+                let model = GaussianWindowModel::new(bdp, n);
+                out.push(MinBufferPoint {
+                    n,
+                    target,
+                    measured_pkts: search.buffer_pkts,
+                    sqrt_n_rule_pkts: bdp / (n as f64).sqrt(),
+                    model_pkts: model.buffer_for_utilization(target.min(0.999_9)),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Builds the result table (text via [`Table::render`], CSV via
+/// [`Table::to_csv`]).
+pub fn to_table(points: &[MinBufferPoint]) -> Table {
+    let mut t = Table::new(&[
+        "n",
+        "target util",
+        "measured min buffer",
+        "BDP/sqrt(n)",
+        "Gaussian model",
+    ]);
+    for p in points {
+        t.row(&[
+            p.n.to_string(),
+            format!("{:.1}%", p.target * 100.0),
+            format!("{} pkts", p.measured_pkts),
+            format!("{:.0} pkts", p.sqrt_n_rule_pkts),
+            format!("{:.0} pkts", p.model_pkts),
+        ]);
+    }
+    t
+}
+
+/// Renders the sweep as the paper-style table/series.
+pub fn render(points: &[MinBufferPoint]) -> String {
+    format!(
+        "Figure 7: minimum buffer for a utilization target vs number of flows\n{}",
+        to_table(points).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_buffer_tracks_sqrt_n() {
+        let cfg = MinBufferConfig::quick();
+        let points = cfg.run();
+        assert_eq!(points.len(), 2);
+        let p10 = &points[0];
+        let p40 = &points[1];
+        // More flows -> smaller minimum buffer.
+        assert!(
+            p40.measured_pkts < p10.measured_pkts,
+            "n=10 needs {} pkts, n=40 needs {} pkts",
+            p10.measured_pkts,
+            p40.measured_pkts
+        );
+        // Within a small factor of the sqrt(n) rule (the paper's claim is
+        // that BDP/sqrt(n) suffices; partial synchronization at tiny n can
+        // push above it).
+        for p in &points {
+            let ratio = p.measured_pkts as f64 / p.sqrt_n_rule_pkts;
+            assert!(
+                ratio < 2.5,
+                "n={}: measured {} vs rule {:.0} (ratio {ratio:.2})",
+                p.n,
+                p.measured_pkts,
+                p.sqrt_n_rule_pkts
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let pts = vec![MinBufferPoint {
+            n: 100,
+            target: 0.98,
+            measured_pkts: 120,
+            sqrt_n_rule_pkts: 129.1,
+            model_pkts: 110.0,
+        }];
+        let s = render(&pts);
+        assert!(s.contains("Figure 7"));
+        assert!(s.contains("120 pkts"));
+    }
+}

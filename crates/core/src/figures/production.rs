@@ -1,0 +1,239 @@
+//! Figure 11 (table): utilization of a throttled 20 Mb/s production link
+//! with ≈400 concurrent sessions, for buffers of 500 / 85 / 65 / 46
+//! packets.
+//!
+//! The paper measured a live Stanford dormitory link. Our stand-in is a
+//! Harpoon-like closed-loop session workload (heavy-tailed transfer sizes,
+//! think times) — the same traffic shape Harpoon itself was calibrated to
+//! produce. See DESIGN.md's substitution table.
+
+use crate::report::Table;
+use netsim::{DumbbellBuilder, QueueCapacity, Sim};
+use simcore::{Rng, SimDuration, SimTime};
+use tcpsim::TcpConfig;
+use theory::GaussianWindowModel;
+use traffic::SessionWorkload;
+
+/// One row of the production table.
+#[derive(Clone, Copy, Debug)]
+pub struct ProductionRow {
+    /// Buffer (packets).
+    pub buffer_pkts: usize,
+    /// Buffer as a multiple of `BDP/√n_eff`.
+    pub multiple: f64,
+    /// Measured throughput (Mb/s).
+    pub throughput_mbps: f64,
+    /// Measured utilization.
+    pub utilization: f64,
+    /// Model-predicted utilization.
+    pub model: f64,
+}
+
+/// Configuration for the production-network experiment.
+#[derive(Clone, Debug)]
+pub struct ProductionConfig {
+    /// Throttled link rate (paper: 20 Mb/s).
+    pub rate_bps: u64,
+    /// Buffers to test (paper: 500, 85, 65, 46 packets).
+    pub buffers: Vec<usize>,
+    /// Number of concurrent sessions (paper estimates ≈400 flows).
+    pub n_sessions: usize,
+    /// Host pairs the sessions share.
+    pub host_pairs: usize,
+    /// Mean think time between transfers.
+    pub think_mean: SimDuration,
+    /// Mean transfer size (segments) and Pareto shape.
+    pub size_mean: f64,
+    /// Pareto tail index for sizes.
+    pub size_shape: f64,
+    /// Two-way propagation range (paper assumes RTTs up to 250 ms).
+    pub rtt_range: (SimDuration, SimDuration),
+    /// Effective long-flow count used for the model column (flows in
+    /// congestion avoidance at a time; the paper's 400 estimate).
+    pub n_effective: usize,
+    /// Warm-up and measurement durations.
+    pub warmup: SimDuration,
+    /// Measurement duration.
+    pub measure: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ProductionConfig {
+    /// Paper scale. The session population is calibrated so that the
+    /// closed loop keeps on the order of a hundred transfers active (with
+    /// think time ≈ transfer time, about half the sessions transfer at any
+    /// instant). The paper estimated "approximately 400 concurrent flows",
+    /// most of which are idle dormitory connections; what sets the buffer
+    /// requirement is the number of flows actively sending, and this
+    /// population puts the utilization knee at the same 46–85-packet
+    /// buffers the paper swept (measured column within ~1% of the paper's,
+    /// see EXPERIMENTS.md).
+    pub fn full() -> Self {
+        ProductionConfig {
+            rate_bps: 20_000_000,
+            buffers: vec![500, 85, 65, 46],
+            n_sessions: 200,
+            host_pairs: 40,
+            think_mean: SimDuration::from_millis(500),
+            size_mean: 60.0,
+            size_shape: 1.5,
+            rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(250)),
+            n_effective: 100,
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(60),
+            seed: 7,
+        }
+    }
+
+    /// Smoke scale.
+    pub fn quick() -> Self {
+        ProductionConfig {
+            n_sessions: 60,
+            host_pairs: 16,
+            n_effective: 30,
+            think_mean: SimDuration::from_millis(300),
+            warmup: SimDuration::from_secs(8),
+            measure: SimDuration::from_secs(15),
+            buffers: vec![200, 40],
+            ..Self::full()
+        }
+    }
+
+    /// BDP in packets at the mean RTT.
+    pub fn bdp_packets(&self) -> f64 {
+        let mean_rtt = (self.rtt_range.0 + self.rtt_range.1) / 2;
+        theory::bdp_packets(self.rate_bps as f64, mean_rtt.as_secs_f64(), 1000)
+    }
+
+    fn run_one(&self, buffer: usize) -> (f64, f64) {
+        let mut sim = Sim::new(self.seed);
+        sim.set_send_jitter(SimDuration::from_micros(500));
+        let mut rng = Rng::new(self.seed ^ 0xFACE_FEED);
+        let (lo, hi) = self.rtt_range;
+        let delays: Vec<SimDuration> = (0..self.host_pairs)
+            .map(|_| {
+                let rtt = SimDuration::from_nanos(rng.u64_range(lo.as_nanos(), hi.as_nanos()));
+                (rtt / 2).saturating_sub(SimDuration::from_millis(5))
+            })
+            .collect();
+        let dumbbell = DumbbellBuilder::new(self.rate_bps, SimDuration::from_millis(5))
+            .buffer(QueueCapacity::Packets(buffer))
+            .access_rate(self.rate_bps * 5)
+            .flow_delays(delays)
+            .build(&mut sim);
+        let wl = SessionWorkload {
+            n_sessions: self.n_sessions,
+            think_mean: self.think_mean,
+            size_mean_segments: self.size_mean,
+            size_shape: self.size_shape,
+            cfg: TcpConfig::default().with_max_window(64),
+        };
+        let _handles = wl.install(&mut sim, &dumbbell, 0, &mut rng);
+        sim.start();
+        sim.run_until(SimTime::ZERO + self.warmup);
+        let mark = sim.now();
+        sim.kernel_mut()
+            .link_mut(dumbbell.bottleneck)
+            .monitor
+            .mark(mark);
+        sim.run_for(self.measure);
+        let mon = &sim.kernel().link(dumbbell.bottleneck).monitor;
+        let util = mon.utilization(sim.now(), self.rate_bps);
+        let tput = mon.since_mark().tx_bytes as f64 * 8.0 / self.measure.as_secs_f64() / 1e6;
+        (util, tput)
+    }
+
+    /// Runs all buffer settings.
+    pub fn run(&self) -> Vec<ProductionRow> {
+        let bdp = self.bdp_packets();
+        let unit = bdp / (self.n_effective as f64).sqrt();
+        let model = GaussianWindowModel::new(bdp, self.n_effective);
+        self.buffers
+            .iter()
+            .map(|&b| {
+                let (util, tput) = self.run_one(b);
+                ProductionRow {
+                    buffer_pkts: b,
+                    multiple: b as f64 / unit,
+                    throughput_mbps: tput,
+                    utilization: util,
+                    model: model.utilization(b as f64),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the result table (text via [`Table::render`], CSV via
+/// [`Table::to_csv`]).
+pub fn to_table(rows: &[ProductionRow]) -> Table {
+    let mut t = Table::new(&[
+        "Buffer",
+        "x BDP/sqrt(n)",
+        "Bandwidth (measured)",
+        "Utilization (measured)",
+        "Utilization (model)",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.buffer_pkts.to_string(),
+            format!("{:.1}x", r.multiple),
+            format!("{:.3} Mb/s", r.throughput_mbps),
+            format!("{:.2}%", r.utilization * 100.0),
+            format!("{:.1}%", r.model * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[ProductionRow], cfg: &ProductionConfig) -> String {
+    format!(
+        "Figure 11 (table): throttled {} Mb/s production-like link, {} sessions\n{}",
+        cfg.rate_bps / 1_000_000,
+        cfg.n_sessions,
+        to_table(rows).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_link_utilization_vs_buffer() {
+        let cfg = ProductionConfig::quick();
+        let rows = cfg.run();
+        assert_eq!(rows.len(), 2);
+        // The big buffer achieves near-full utilization; the small one is
+        // close behind (the paper's point: modest buffers suffice).
+        assert!(rows[0].utilization > 0.9, "big buffer util = {}", rows[0].utilization);
+        assert!(
+            rows[1].utilization > 0.75,
+            "small buffer util = {}",
+            rows[1].utilization
+        );
+        assert!(rows[0].utilization >= rows[1].utilization - 0.02);
+        // Throughput column consistent with utilization.
+        for r in &rows {
+            let implied = r.throughput_mbps / 20.0;
+            assert!((implied - r.utilization).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn render_works() {
+        let cfg = ProductionConfig::full();
+        let rows = vec![ProductionRow {
+            buffer_pkts: 500,
+            multiple: 8.0,
+            throughput_mbps: 19.98,
+            utilization: 0.9992,
+            model: 1.0,
+        }];
+        let s = render(&rows, &cfg);
+        assert!(s.contains("Figure 11"));
+        assert!(s.contains("19.980 Mb/s"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Plain-text table and ASCII-plot rendering for the experiment binaries.
+
+/// A simple fixed-width table printer.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC 4180-style quoting for cells that
+    /// need it), for piping into plotting tools.
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}", c, width = widths[i]));
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders an ASCII scatter/line plot of `(x, y)` points, `width`×`height`
+/// characters. Good enough to eyeball the shapes the paper plots.
+pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 10 && height >= 4);
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{ymax:>12.4} +\n"));
+    for row in &grid {
+        out.push_str("             |");
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>12.4} +"));
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "              x: {xmin:.4} .. {xmax:.4}\n"
+    ));
+    out
+}
+
+/// Formats a utilization in the paper's style (`99.8%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "buffer", "util"]);
+        t.row(&["100".into(), "64".into(), "96.9%".into()]);
+        t.row(&["400".into(), "129".into(), "100%".into()]);
+        let s = t.render();
+        assert!(s.contains("n  buffer"));
+        assert!(s.contains("96.9%"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = Table::new(&["n", "note"]);
+        t.row(&["1".into(), "plain".into()]);
+        t.row(&["2".into(), "has, comma".into()]);
+        t.row(&["3".into(), "has \"quote\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,note");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], "2,\"has, comma\"");
+        assert_eq!(lines[3], "3,\"has \"\"quote\"\"\"");
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn plot_contains_points_and_bounds() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = ascii_plot(&pts, 40, 10, "parabola");
+        assert!(s.contains("parabola"));
+        assert!(s.contains('*'));
+        assert!(s.contains("x: 0.0000 .. 49.0000"));
+    }
+
+    #[test]
+    fn plot_handles_degenerate_input() {
+        let s = ascii_plot(&[(1.0, 2.0)], 20, 5, "dot");
+        assert!(s.contains('*'));
+        assert!(ascii_plot(&[], 20, 5, "empty").contains("no data"));
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.969), "96.9%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,657 @@
+//! Declarative experiment scenarios and their runners.
+//!
+//! Three scenario types cover every experiment in the paper:
+//!
+//! * [`LongFlowScenario`] — `n` long-lived TCP flows over a dumbbell
+//!   (§5.1.1, Figures 3–7, Table 10);
+//! * [`ShortFlowScenario`] — Poisson short flows (§5.1.2, Figure 8);
+//! * [`MixScenario`] — long + short flows together (§5.1.3, Figure 9).
+//!
+//! Each `run()` is fully deterministic for a given `seed` and returns a
+//! plain result struct so figures/tables are just data transformations.
+
+use netsim::red::RedConfig;
+use netsim::{DumbbellBuilder, QueueCapacity, Red, Sim};
+use simcore::{Rng, SimDuration, SimTime};
+use stats::FctCollector;
+use tcpsim::{TcpConfig, TcpSink, TcpSource};
+use traffic::bulk::CcKind;
+use traffic::{
+    arrival_rate_for_load, BulkWorkload, FlowHandle, FlowLengthDist, ShortFlowWorkload,
+};
+
+/// Default packet size (bytes), matching the paper / ns-2 convention.
+pub const PKT_SIZE: u32 = 1000;
+
+/// `n` long-lived TCP flows over a single bottleneck.
+#[derive(Clone, Debug)]
+pub struct LongFlowScenario {
+    /// Number of long-lived flows.
+    pub n_flows: usize,
+    /// Bottleneck rate, bits/s.
+    pub bottleneck_rate: u64,
+    /// One-way bottleneck propagation delay.
+    pub bottleneck_delay: SimDuration,
+    /// Per-flow two-way propagation times are uniform in this range
+    /// (desynchronization through RTT diversity, §5.1).
+    pub rtt_range: (SimDuration, SimDuration),
+    /// Bottleneck buffer, packets.
+    pub buffer_pkts: usize,
+    /// Use RED instead of drop-tail on the bottleneck.
+    pub red: bool,
+    /// Access-link speed-up over the bottleneck.
+    pub access_speedup: u64,
+    /// TCP configuration.
+    pub cfg: TcpConfig,
+    /// Congestion-control flavor for the long flows (the paper's ns-2 runs
+    /// use Reno; NewReno is the robust multi-loss variant).
+    pub cc: CcKind,
+    /// Pace transmissions at cwnd/RTT (extension: paced TCP needs far
+    /// smaller buffers).
+    pub pacing: bool,
+    /// Flow starts are staggered uniformly over this window.
+    pub start_window: SimDuration,
+    /// Per-send random jitter (breaks simulator phase effects).
+    pub jitter: Option<SimDuration>,
+    /// Master seed.
+    pub seed: u64,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement duration.
+    pub measure: SimDuration,
+}
+
+impl LongFlowScenario {
+    /// The paper's §5.1.1 setting: OC3 (155 Mb/s), ~80 ms average RTT.
+    pub fn oc3(n_flows: usize) -> Self {
+        LongFlowScenario {
+            n_flows,
+            bottleneck_rate: 155_000_000,
+            bottleneck_delay: SimDuration::from_millis(10),
+            rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(120)),
+            buffer_pkts: 100,
+            red: false,
+            access_speedup: 10,
+            cfg: TcpConfig::default(),
+            cc: CcKind::Reno,
+            pacing: false,
+            start_window: SimDuration::from_secs(5),
+            jitter: Some(SimDuration::from_micros(100)),
+            seed: 1,
+            warmup: SimDuration::from_secs(20),
+            measure: SimDuration::from_secs(60),
+        }
+    }
+
+    /// A fast, small variant for unit tests and smoke benches.
+    pub fn quick(n_flows: usize, rate_bps: u64) -> Self {
+        LongFlowScenario {
+            n_flows,
+            bottleneck_rate: rate_bps,
+            bottleneck_delay: SimDuration::from_millis(5),
+            rtt_range: (SimDuration::from_millis(30), SimDuration::from_millis(90)),
+            buffer_pkts: 100,
+            red: false,
+            access_speedup: 10,
+            cfg: TcpConfig::default(),
+            cc: CcKind::Reno,
+            pacing: false,
+            start_window: SimDuration::from_secs(2),
+            jitter: Some(SimDuration::from_micros(100)),
+            seed: 1,
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(15),
+        }
+    }
+
+    /// Mean two-way propagation delay of the configured RTT range.
+    pub fn mean_rtt(&self) -> SimDuration {
+        (self.rtt_range.0 + self.rtt_range.1) / 2
+    }
+
+    /// Bandwidth-delay product `2T̄p × C` in packets.
+    pub fn bdp_packets(&self) -> f64 {
+        theory::bdp_packets(
+            self.bottleneck_rate as f64,
+            self.mean_rtt().as_secs_f64(),
+            PKT_SIZE,
+        )
+    }
+
+    /// Per-flow one-way access delays realizing the RTT range.
+    fn access_delays(&self, rng: &mut Rng) -> Vec<SimDuration> {
+        let (lo, hi) = self.rtt_range;
+        assert!(lo <= hi);
+        let bneck = self.bottleneck_delay;
+        (0..self.n_flows)
+            .map(|_| {
+                let rtt = SimDuration::from_nanos(
+                    rng.u64_range(lo.as_nanos(), hi.as_nanos()),
+                );
+                // two_way = 2*(access + bottleneck)  =>  access = rtt/2 - bneck
+                (rtt / 2).saturating_sub(bneck)
+            })
+            .collect()
+    }
+
+    fn build(&self) -> (Sim, netsim::Dumbbell, Vec<FlowHandle>) {
+        let mut sim = Sim::new(self.seed);
+        if let Some(j) = self.jitter {
+            sim.set_send_jitter(j);
+        }
+        let mut rng = Rng::new(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let delays = self.access_delays(&mut rng);
+        let mut builder = DumbbellBuilder::new(self.bottleneck_rate, self.bottleneck_delay)
+            .buffer(QueueCapacity::Packets(self.buffer_pkts))
+            .access_rate(self.bottleneck_rate * self.access_speedup.max(1))
+            .flow_delays(delays);
+        if self.red {
+            let mean_pkt = SimDuration::transmission(PKT_SIZE as u64, self.bottleneck_rate);
+            builder = builder
+                .bottleneck_queue(Box::new(Red::new(RedConfig::recommended(
+                    self.buffer_pkts,
+                    mean_pkt,
+                ))));
+        }
+        let dumbbell = builder.build(&mut sim);
+        let wl = BulkWorkload {
+            cfg: self.cfg,
+            cc: self.cc,
+            pacing: self.pacing,
+            start_window: self.start_window,
+            ..Default::default()
+        };
+        let handles = wl.install(&mut sim, &dumbbell, 0, &mut rng);
+        (sim, dumbbell, handles)
+    }
+
+    /// Runs the scenario without window sampling.
+    pub fn run(&self) -> LongFlowResult {
+        self.run_sampled(None)
+    }
+
+    /// Runs the scenario, sampling the per-flow congestion windows every
+    /// `period` during the measurement phase (needed for Figure 6 and the
+    /// synchronization metric).
+    pub fn run_sampled(&self, sample_period: Option<SimDuration>) -> LongFlowResult {
+        let (mut sim, dumbbell, handles) = self.build();
+        sim.start();
+        sim.run_until(SimTime::ZERO + self.warmup);
+        let mark = sim.now();
+        sim.kernel_mut()
+            .link_mut(dumbbell.bottleneck)
+            .monitor
+            .mark(mark);
+
+        let end = mark + self.measure;
+        let mut window_sum = Vec::new();
+        let mut per_flow: Vec<Vec<f64>> = vec![Vec::new(); handles.len()];
+        match sample_period {
+            Some(period) => {
+                assert!(!period.is_zero());
+                let mut t = mark;
+                while t < end {
+                    t = (t + period).min(end);
+                    sim.run_until(t);
+                    let mut sum = 0.0;
+                    for (i, h) in handles.iter().enumerate() {
+                        let src = sim
+                            .agent_as::<TcpSource>(h.source)
+                            .expect("bulk source");
+                        let w = src.sender().cwnd();
+                        sum += w;
+                        per_flow[i].push(w);
+                    }
+                    window_sum.push(sum);
+                }
+            }
+            None => sim.run_until(end),
+        }
+
+        let mon = &sim.kernel().link(dumbbell.bottleneck).monitor;
+        let utilization = mon.utilization(sim.now(), self.bottleneck_rate);
+        let drop_rate = mon.drop_rate();
+        let mean_queue = mon.mean_queue_at_arrival();
+        let max_queue = mon.max_queue();
+
+        let mut segments_sent = 0u64;
+        let mut retransmits = 0u64;
+        let mut timeouts = 0u64;
+        let mut fast_retransmits = 0u64;
+        let mut data_drops = 0u64;
+        for h in &handles {
+            let st = sim
+                .agent_as::<TcpSource>(h.source)
+                .expect("bulk source")
+                .sender()
+                .stats();
+            segments_sent += st.segments_sent;
+            retransmits += st.retransmits;
+            timeouts += st.timeouts;
+            fast_retransmits += st.fast_retransmits;
+            data_drops += sim.kernel().flow_stats(h.flow).data_drops;
+        }
+
+        LongFlowResult {
+            n_flows: self.n_flows,
+            buffer_pkts: self.buffer_pkts,
+            bdp_packets: self.bdp_packets(),
+            utilization,
+            drop_rate,
+            loss_rate: if segments_sent == 0 {
+                0.0
+            } else {
+                data_drops as f64 / segments_sent as f64
+            },
+            mean_queue,
+            max_queue,
+            segments_sent,
+            retransmits,
+            timeouts,
+            fast_retransmits,
+            window_sum_samples: window_sum,
+            per_flow_window_samples: per_flow,
+        }
+    }
+}
+
+/// Result of a [`LongFlowScenario`] run.
+#[derive(Clone, Debug)]
+pub struct LongFlowResult {
+    /// Number of flows.
+    pub n_flows: usize,
+    /// Configured buffer (packets).
+    pub buffer_pkts: usize,
+    /// Bandwidth-delay product (packets).
+    pub bdp_packets: f64,
+    /// Bottleneck utilization over the measurement window, in `[0,1]`.
+    pub utilization: f64,
+    /// Bottleneck packet drop fraction (drops / offered).
+    pub drop_rate: f64,
+    /// TCP data-segment loss rate (data drops / data segments sent).
+    pub loss_rate: f64,
+    /// Mean queue length seen by arriving packets.
+    pub mean_queue: f64,
+    /// Maximum queue length seen by arriving packets.
+    pub max_queue: usize,
+    /// Total data segments sent by all flows.
+    pub segments_sent: u64,
+    /// Total retransmitted segments.
+    pub retransmits: u64,
+    /// Total retransmission timeouts.
+    pub timeouts: u64,
+    /// Total fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Samples of `Σᵢ cwndᵢ` (empty unless sampling was requested).
+    pub window_sum_samples: Vec<f64>,
+    /// Per-flow cwnd samples aligned with `window_sum_samples`.
+    pub per_flow_window_samples: Vec<Vec<f64>>,
+}
+
+/// Poisson-arrival short flows over a single bottleneck (§5.1.2).
+#[derive(Clone, Debug)]
+pub struct ShortFlowScenario {
+    /// Bottleneck rate, bits/s.
+    pub bottleneck_rate: u64,
+    /// One-way bottleneck propagation delay.
+    pub bottleneck_delay: SimDuration,
+    /// Two-way propagation range across host pairs.
+    pub rtt_range: (SimDuration, SimDuration),
+    /// Offered load in `(0,1)`.
+    pub load: f64,
+    /// Flow-length distribution (segments).
+    pub lengths: FlowLengthDist,
+    /// Bottleneck buffer, packets.
+    pub buffer_pkts: usize,
+    /// Number of host pairs flows are spread over.
+    pub host_pairs: usize,
+    /// TCP configuration (`max_window` = the §4 OS cap).
+    pub cfg: TcpConfig,
+    /// Flow arrivals are generated over this horizon; the run then drains
+    /// for a grace period so late flows finish.
+    pub horizon: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ShortFlowScenario {
+    /// A paper-like default: load 0.8, 14-segment flows, 43-segment window
+    /// cap (the UNIX default cited in §4).
+    pub fn paper_default(rate_bps: u64, load: f64) -> Self {
+        ShortFlowScenario {
+            bottleneck_rate: rate_bps,
+            bottleneck_delay: SimDuration::from_millis(10),
+            rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(120)),
+            load,
+            lengths: FlowLengthDist::Fixed(14),
+            buffer_pkts: 1_000_000,
+            host_pairs: 20,
+            cfg: TcpConfig::default().with_max_window(43),
+            horizon: SimDuration::from_secs(30),
+            seed: 1,
+        }
+    }
+
+    /// Flow arrival rate implied by the configured load.
+    pub fn arrival_rate(&self) -> f64 {
+        arrival_rate_for_load(
+            self.load,
+            self.bottleneck_rate,
+            self.lengths.mean(),
+            self.cfg.data_size,
+        )
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self) -> ShortFlowResult {
+        let mut sim = Sim::new(self.seed);
+        let mut rng = Rng::new(self.seed ^ 0xDEAD_BEEF_0BAD_F00D);
+        let (lo, hi) = self.rtt_range;
+        let delays: Vec<SimDuration> = (0..self.host_pairs)
+            .map(|_| {
+                let rtt = SimDuration::from_nanos(rng.u64_range(lo.as_nanos(), hi.as_nanos()));
+                (rtt / 2).saturating_sub(self.bottleneck_delay)
+            })
+            .collect();
+        let dumbbell = DumbbellBuilder::new(self.bottleneck_rate, self.bottleneck_delay)
+            .buffer(QueueCapacity::Packets(self.buffer_pkts))
+            .access_rate(self.bottleneck_rate * 10)
+            .flow_delays(delays)
+            .build(&mut sim);
+        let wl = ShortFlowWorkload {
+            arrival_rate: self.arrival_rate(),
+            lengths: self.lengths.clone(),
+            cfg: self.cfg,
+            horizon: self.horizon,
+        };
+        let handles = wl.install(&mut sim, &dumbbell, 0, &mut rng);
+
+        sim.start();
+        // Measure utilization over the arrival horizon only.
+        let end = SimTime::ZERO + self.horizon;
+        sim.run_until(end);
+        let utilization = sim
+            .kernel()
+            .link(dumbbell.bottleneck)
+            .monitor
+            .utilization(sim.now(), self.bottleneck_rate);
+        let drop_rate = sim.kernel().link(dumbbell.bottleneck).monitor.drop_rate();
+        let max_queue = sim.kernel().link(dumbbell.bottleneck).monitor.max_queue();
+        // Drain so stragglers complete.
+        sim.run_for(SimDuration::from_secs(30));
+
+        let mut fct = FctCollector::new();
+        let mut incomplete = 0usize;
+        for h in &handles {
+            match sim.agent_as::<TcpSink>(h.sink).expect("sink").record() {
+                Some(rec) => fct.record(rec.segments, rec.fct()),
+                None => incomplete += 1,
+            }
+        }
+        ShortFlowResult {
+            offered_flows: handles.len(),
+            incomplete,
+            afct: fct.afct(),
+            fct,
+            utilization,
+            drop_rate,
+            max_queue,
+        }
+    }
+}
+
+/// Result of a [`ShortFlowScenario`] run.
+#[derive(Clone, Debug)]
+pub struct ShortFlowResult {
+    /// Flows offered over the horizon.
+    pub offered_flows: usize,
+    /// Flows that had not completed by the end of the drain period.
+    pub incomplete: usize,
+    /// Average flow completion time, seconds.
+    pub afct: f64,
+    /// The raw FCT collection.
+    pub fct: FctCollector,
+    /// Bottleneck utilization over the arrival horizon.
+    pub utilization: f64,
+    /// Bottleneck drop fraction.
+    pub drop_rate: f64,
+    /// Maximum queue observed.
+    pub max_queue: usize,
+}
+
+/// Long-lived flows plus Poisson short flows (§5.1.3, Figure 9).
+#[derive(Clone, Debug)]
+pub struct MixScenario {
+    /// The long-flow substrate (its `measure` bounds the run).
+    pub long: LongFlowScenario,
+    /// Fraction of the bottleneck offered as short-flow load.
+    pub short_load: f64,
+    /// Short-flow length distribution.
+    pub short_lengths: FlowLengthDist,
+    /// Short-flow TCP configuration.
+    pub short_cfg: TcpConfig,
+    /// Host pairs dedicated to short flows.
+    pub short_host_pairs: usize,
+}
+
+impl MixScenario {
+    /// Runs the mix and reports both sides.
+    pub fn run(&self) -> MixResult {
+        let mut sim = Sim::new(self.long.seed);
+        if let Some(j) = self.long.jitter {
+            sim.set_send_jitter(j);
+        }
+        let mut rng = Rng::new(self.long.seed ^ 0x5555_AAAA_5555_AAAA);
+
+        // One dumbbell hosting both long-flow pairs and short-flow pairs.
+        let mut delays = self.long.access_delays(&mut rng);
+        let (lo, hi) = self.long.rtt_range;
+        for _ in 0..self.short_host_pairs {
+            let rtt = SimDuration::from_nanos(rng.u64_range(lo.as_nanos(), hi.as_nanos()));
+            delays.push((rtt / 2).saturating_sub(self.long.bottleneck_delay));
+        }
+        let dumbbell = DumbbellBuilder::new(self.long.bottleneck_rate, self.long.bottleneck_delay)
+            .buffer(QueueCapacity::Packets(self.long.buffer_pkts))
+            .access_rate(self.long.bottleneck_rate * self.long.access_speedup.max(1))
+            .flow_delays(delays)
+            .build(&mut sim);
+
+        // Long flows on the first pairs.
+        let long_view = netsim::Dumbbell {
+            sources: dumbbell.sources[..self.long.n_flows].to_vec(),
+            sinks: dumbbell.sinks[..self.long.n_flows].to_vec(),
+            r1: dumbbell.r1,
+            r2: dumbbell.r2,
+            bottleneck: dumbbell.bottleneck,
+            reverse_bottleneck: dumbbell.reverse_bottleneck,
+            access_delays: dumbbell.access_delays[..self.long.n_flows].to_vec(),
+            bottleneck_delay: dumbbell.bottleneck_delay,
+            bottleneck_rate: dumbbell.bottleneck_rate,
+        };
+        let bulk = BulkWorkload {
+            cfg: self.long.cfg,
+            cc: self.long.cc,
+            start_window: self.long.start_window,
+            ..Default::default()
+        };
+        let long_handles = bulk.install(&mut sim, &long_view, 0, &mut rng);
+
+        // Short flows on the remaining pairs.
+        let short_view = netsim::Dumbbell {
+            sources: dumbbell.sources[self.long.n_flows..].to_vec(),
+            sinks: dumbbell.sinks[self.long.n_flows..].to_vec(),
+            r1: dumbbell.r1,
+            r2: dumbbell.r2,
+            bottleneck: dumbbell.bottleneck,
+            reverse_bottleneck: dumbbell.reverse_bottleneck,
+            access_delays: dumbbell.access_delays[self.long.n_flows..].to_vec(),
+            bottleneck_delay: dumbbell.bottleneck_delay,
+            bottleneck_rate: dumbbell.bottleneck_rate,
+        };
+        let horizon = self.long.warmup + self.long.measure;
+        let short_wl = ShortFlowWorkload {
+            arrival_rate: arrival_rate_for_load(
+                self.short_load,
+                self.long.bottleneck_rate,
+                self.short_lengths.mean(),
+                self.short_cfg.data_size,
+            ),
+            lengths: self.short_lengths.clone(),
+            cfg: self.short_cfg,
+            horizon,
+        };
+        let short_handles =
+            short_wl.install(&mut sim, &short_view, self.long.n_flows as u32, &mut rng);
+
+        sim.start();
+        sim.run_until(SimTime::ZERO + self.long.warmup);
+        let mark = sim.now();
+        sim.kernel_mut()
+            .link_mut(dumbbell.bottleneck)
+            .monitor
+            .mark(mark);
+        sim.run_until(SimTime::ZERO + horizon);
+        let utilization = sim
+            .kernel()
+            .link(dumbbell.bottleneck)
+            .monitor
+            .utilization(sim.now(), self.long.bottleneck_rate);
+        // Drain.
+        sim.run_for(SimDuration::from_secs(30));
+
+        let mut fct = FctCollector::new();
+        let mut incomplete = 0;
+        for h in &short_handles {
+            // Only count flows that started after warm-up, so AFCT reflects
+            // the steady state.
+            match sim.agent_as::<TcpSink>(h.sink).expect("sink").record() {
+                Some(rec) => {
+                    if rec.start >= mark {
+                        fct.record(rec.segments, rec.fct());
+                    }
+                }
+                None => incomplete += 1,
+            }
+        }
+        let long_goodput: u64 = long_handles
+            .iter()
+            .map(|h| {
+                sim.agent_as::<TcpSink>(h.sink)
+                    .expect("sink")
+                    .receiver()
+                    .delivered()
+            })
+            .sum();
+        MixResult {
+            utilization,
+            afct: fct.afct(),
+            fct,
+            short_incomplete: incomplete,
+            long_segments_delivered: long_goodput,
+        }
+    }
+}
+
+/// Result of a [`MixScenario`] run.
+#[derive(Clone, Debug)]
+pub struct MixResult {
+    /// Bottleneck utilization over the measurement window.
+    pub utilization: f64,
+    /// AFCT of short flows that started after warm-up (seconds).
+    pub afct: f64,
+    /// Raw FCT collection for the short flows.
+    pub fct: FctCollector,
+    /// Short flows that never completed.
+    pub short_incomplete: usize,
+    /// Long-flow segments delivered (whole run).
+    pub long_segments_delivered: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_long_flow_scenario_runs() {
+        let mut sc = LongFlowScenario::quick(8, 20_000_000);
+        sc.buffer_pkts = sc.bdp_packets().round() as usize;
+        let r = sc.run();
+        assert!(r.utilization > 0.95, "util = {}", r.utilization);
+        assert!(r.segments_sent > 10_000);
+        assert_eq!(r.n_flows, 8);
+    }
+
+    #[test]
+    fn sampling_collects_windows() {
+        let mut sc = LongFlowScenario::quick(4, 10_000_000);
+        sc.warmup = SimDuration::from_secs(3);
+        sc.measure = SimDuration::from_secs(5);
+        sc.buffer_pkts = 40;
+        let r = sc.run_sampled(Some(SimDuration::from_millis(50)));
+        assert_eq!(r.window_sum_samples.len(), 100);
+        assert_eq!(r.per_flow_window_samples.len(), 4);
+        assert_eq!(r.per_flow_window_samples[0].len(), 100);
+        // Sum of per-flow samples equals the recorded sum.
+        let manual: f64 = r.per_flow_window_samples.iter().map(|v| v[10]).sum();
+        assert!((manual - r.window_sum_samples[10]).abs() < 1e-9);
+        // Windows are positive.
+        assert!(r.window_sum_samples.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn underbuffered_hurts_utilization() {
+        let mut sc = LongFlowScenario::quick(2, 20_000_000);
+        sc.rtt_range = (SimDuration::from_millis(80), SimDuration::from_millis(100));
+        sc.buffer_pkts = 2;
+        let low = sc.run().utilization;
+        sc.buffer_pkts = sc.bdp_packets().round() as usize;
+        let high = sc.run().utilization;
+        assert!(high > low, "high {high} low {low}");
+        assert!(low < 0.97);
+    }
+
+    #[test]
+    fn short_flow_scenario_reports_afct() {
+        let mut sc = ShortFlowScenario::paper_default(20_000_000, 0.5);
+        sc.horizon = SimDuration::from_secs(8);
+        sc.host_pairs = 10;
+        let r = sc.run();
+        assert!(r.offered_flows > 50);
+        assert_eq!(r.incomplete, 0, "flows stuck");
+        assert!(r.afct > 0.0 && r.afct < 2.0, "afct = {}", r.afct);
+        assert!(r.utilization > 0.3 && r.utilization < 0.75);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let sc = LongFlowScenario::quick(4, 10_000_000);
+        let a = sc.run();
+        let b = sc.run();
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.segments_sent, b.segments_sent);
+        let mut sc2 = sc.clone();
+        sc2.seed = 999;
+        let c = sc2.run();
+        assert_ne!(a.segments_sent, c.segments_sent);
+    }
+
+    #[test]
+    fn mix_scenario_runs() {
+        let mut long = LongFlowScenario::quick(8, 20_000_000);
+        long.warmup = SimDuration::from_secs(4);
+        long.measure = SimDuration::from_secs(8);
+        long.buffer_pkts = 100;
+        let mix = MixScenario {
+            long,
+            short_load: 0.15,
+            short_lengths: FlowLengthDist::Fixed(14),
+            short_cfg: TcpConfig::default().with_max_window(43),
+            short_host_pairs: 8,
+        };
+        let r = mix.run();
+        assert!(r.utilization > 0.88, "util = {}", r.utilization);
+        assert!(r.fct.count() > 20);
+        assert!(r.afct > 0.0);
+        assert!(r.long_segments_delivered > 1000);
+    }
+}

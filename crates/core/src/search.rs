@@ -1,0 +1,109 @@
+//! Minimum-buffer search.
+//!
+//! Figures 7 and 8 report "the minimum required buffer" such that a quality
+//! criterion holds (utilization ≥ target, or AFCT within 12.5% of the
+//! infinite-buffer AFCT). [`min_buffer_for`] bisects over integer buffer
+//! sizes, assuming the criterion is monotone in the buffer — which it is up
+//! to simulation noise; the returned `SearchResult` keeps the bracketing
+//! evaluations so callers can inspect the transition.
+
+/// Result of a minimum-buffer bisection.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Smallest buffer (packets) satisfying the criterion.
+    pub buffer_pkts: usize,
+    /// `(buffer, metric, ok)` for every evaluated point, in evaluation
+    /// order.
+    pub evaluations: Vec<(usize, f64, bool)>,
+}
+
+/// Finds the smallest buffer in `[1, hi]` for which `criterion` holds.
+///
+/// `eval` runs the experiment at a buffer size and returns the metric;
+/// `ok` decides whether the metric satisfies the target. If even `hi`
+/// fails, `hi` is returned (callers can check `evaluations`).
+pub fn min_buffer_for(
+    hi: usize,
+    mut eval: impl FnMut(usize) -> f64,
+    ok: impl Fn(f64) -> bool,
+) -> SearchResult {
+    assert!(hi >= 1);
+    let mut evaluations = Vec::new();
+
+    // Check the upper bound first: if it fails, report and bail.
+    let top = eval(hi);
+    let top_ok = ok(top);
+    evaluations.push((hi, top, top_ok));
+    if !top_ok {
+        return SearchResult {
+            buffer_pkts: hi,
+            evaluations,
+        };
+    }
+
+    let (mut lo, mut best) = (0usize, hi); // criterion holds at `best`
+    while best - lo > 1 {
+        let mid = lo + (best - lo) / 2;
+        let m = eval(mid);
+        let m_ok = ok(m);
+        evaluations.push((mid, m, m_ok));
+        if m_ok {
+            best = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    SearchResult {
+        buffer_pkts: best,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_threshold() {
+        // Criterion: buffer >= 37.
+        let r = min_buffer_for(1000, |b| b as f64, |m| m >= 37.0);
+        assert_eq!(r.buffer_pkts, 37);
+    }
+
+    #[test]
+    fn threshold_at_one() {
+        let r = min_buffer_for(100, |b| b as f64, |m| m >= 1.0);
+        assert_eq!(r.buffer_pkts, 1);
+    }
+
+    #[test]
+    fn unsatisfiable_returns_hi() {
+        let r = min_buffer_for(64, |b| b as f64, |m| m >= 1e9);
+        assert_eq!(r.buffer_pkts, 64);
+        assert!(!r.evaluations[0].2);
+    }
+
+    #[test]
+    fn evaluation_count_is_logarithmic() {
+        let mut calls = 0;
+        let r = min_buffer_for(
+            1 << 20,
+            |b| {
+                calls += 1;
+                b as f64
+            },
+            |m| m >= 123_456.0,
+        );
+        assert_eq!(r.buffer_pkts, 123_456);
+        assert!(calls <= 22, "calls = {calls}");
+    }
+
+    #[test]
+    fn keeps_all_evaluations() {
+        let r = min_buffer_for(16, |b| b as f64, |m| m >= 5.0);
+        assert_eq!(r.buffer_pkts, 5);
+        // First evaluation is the upper bound.
+        assert_eq!(r.evaluations[0].0, 16);
+        assert!(r.evaluations.len() >= 4);
+    }
+}

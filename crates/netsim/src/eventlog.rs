@@ -1,0 +1,161 @@
+//! Per-packet event tracing (the moral equivalent of ns-2's trace files).
+//!
+//! When enabled with [`Sim::enable_packet_log`](crate::sim::Sim), the kernel
+//! records one [`PacketRecord`] per packet milestone: queued at a link,
+//! dropped, transmitted, delivered to an agent. The log is bounded; once
+//! full, further events are counted but not stored (never silently
+//! truncated — check [`PacketLog::overflowed`]).
+
+use crate::packet::FlowId;
+use crate::sim::LinkId;
+use simcore::SimTime;
+
+/// What happened to the packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketEvent {
+    /// Entered a link's output queue (or went straight to the transmitter).
+    Queued,
+    /// Rejected by a full queue, RED, or fault injection.
+    Dropped,
+    /// Finished serializing onto the wire.
+    Transmitted,
+    /// Delivered to the destination agent.
+    Delivered,
+}
+
+/// One logged packet milestone.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketRecord {
+    /// When it happened.
+    pub time: SimTime,
+    /// Packet uid.
+    pub uid: u64,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// The link involved (`None` for agent delivery).
+    pub link: Option<LinkId>,
+    /// The event.
+    pub event: PacketEvent,
+}
+
+/// A bounded in-memory packet log.
+#[derive(Debug)]
+pub struct PacketLog {
+    records: Vec<PacketRecord>,
+    capacity: usize,
+    /// Events that arrived after the log filled.
+    pub overflowed: u64,
+}
+
+impl PacketLog {
+    /// Creates a log holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        PacketLog {
+            records: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            overflowed: 0,
+        }
+    }
+
+    /// Appends a record (counts instead of storing once full).
+    pub fn push(&mut self, rec: PacketRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.overflowed += 1;
+        }
+    }
+
+    /// All stored records, in time order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Records for one packet uid, in order.
+    pub fn for_packet(&self, uid: u64) -> Vec<PacketRecord> {
+        self.records.iter().copied().filter(|r| r.uid == uid).collect()
+    }
+
+    /// Records for one flow, in order.
+    pub fn for_flow(&self, flow: FlowId) -> Vec<PacketRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.flow == flow)
+            .collect()
+    }
+
+    /// Renders the log in an ns-2-like single-line-per-event text format:
+    /// `<time> <+|d|-|r> <link|agent> <flow> <uid>` (`+` queued, `d`
+    /// dropped, `-` transmitted, `r` received/delivered).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let code = match r.event {
+                PacketEvent::Queued => '+',
+                PacketEvent::Dropped => 'd',
+                PacketEvent::Transmitted => '-',
+                PacketEvent::Delivered => 'r',
+            };
+            let place = match r.link {
+                Some(l) => format!("link{}", l.0),
+                None => "agent".to_string(),
+            };
+            out.push_str(&format!(
+                "{:.9} {} {} f{} p{}\n",
+                r.time.as_secs_f64(),
+                code,
+                place,
+                r.flow.0,
+                r.uid
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, uid: u64, event: PacketEvent) -> PacketRecord {
+        PacketRecord {
+            time: SimTime::from_millis(t),
+            uid,
+            flow: FlowId(0),
+            link: Some(LinkId(1)),
+            event,
+        }
+    }
+
+    #[test]
+    fn bounded_capacity() {
+        let mut log = PacketLog::new(2);
+        log.push(rec(1, 1, PacketEvent::Queued));
+        log.push(rec(2, 1, PacketEvent::Transmitted));
+        log.push(rec(3, 1, PacketEvent::Delivered));
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.overflowed, 1);
+    }
+
+    #[test]
+    fn per_packet_and_per_flow_queries() {
+        let mut log = PacketLog::new(10);
+        log.push(rec(1, 1, PacketEvent::Queued));
+        log.push(rec(2, 2, PacketEvent::Queued));
+        log.push(rec(3, 1, PacketEvent::Transmitted));
+        assert_eq!(log.for_packet(1).len(), 2);
+        assert_eq!(log.for_packet(2).len(), 1);
+        assert_eq!(log.for_flow(FlowId(0)).len(), 3);
+    }
+
+    #[test]
+    fn render_format() {
+        let mut log = PacketLog::new(4);
+        log.push(rec(1, 7, PacketEvent::Queued));
+        log.push(rec(2, 7, PacketEvent::Dropped));
+        let s = log.render();
+        assert!(s.contains("+ link1 f0 p7"));
+        assert!(s.contains("d link1 f0 p7"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Nodes (hosts and routers) and static routing.
+
+use crate::sim::{LinkId, NodeId};
+use std::collections::HashMap;
+
+/// Whether a node terminates flows or forwards packets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// End host: delivers arriving packets to the agent bound to the
+    /// packet's flow.
+    Host,
+    /// Router: forwards packets by destination using its route table.
+    Router,
+}
+
+/// A static routing table: destination node → egress link, with an optional
+/// default route.
+#[derive(Clone, Debug, Default)]
+pub struct RouteTable {
+    routes: HashMap<NodeId, LinkId>,
+    default: Option<LinkId>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a route for `dst`.
+    pub fn add(&mut self, dst: NodeId, link: LinkId) {
+        self.routes.insert(dst, link);
+    }
+
+    /// Sets the default route.
+    pub fn set_default(&mut self, link: LinkId) {
+        self.default = Some(link);
+    }
+
+    /// Looks up the egress link for `dst`.
+    pub fn lookup(&self, dst: NodeId) -> Option<LinkId> {
+        self.routes.get(&dst).copied().or(self.default)
+    }
+
+    /// Number of explicit routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True iff the table has neither explicit routes nor a default.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty() && self.default.is_none()
+    }
+}
+
+/// A network node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Human-readable name for traces.
+    pub name: String,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// Static routes out of this node.
+    pub routes: RouteTable,
+}
+
+impl Node {
+    /// Creates a node.
+    pub fn new(name: impl Into<String>, kind: NodeKind) -> Self {
+        Node {
+            name: name.into(),
+            kind,
+            routes: RouteTable::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_route_wins_over_default() {
+        let mut t = RouteTable::new();
+        t.set_default(LinkId(9));
+        t.add(NodeId(3), LinkId(1));
+        assert_eq!(t.lookup(NodeId(3)), Some(LinkId(1)));
+        assert_eq!(t.lookup(NodeId(4)), Some(LinkId(9)));
+    }
+
+    #[test]
+    fn missing_route() {
+        let t = RouteTable::new();
+        assert_eq!(t.lookup(NodeId(0)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn replace_route() {
+        let mut t = RouteTable::new();
+        t.add(NodeId(1), LinkId(1));
+        t.add(NodeId(1), LinkId(2));
+        assert_eq!(t.lookup(NodeId(1)), Some(LinkId(2)));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Packets and protocol headers.
+//!
+//! Following the paper (and ns-2), TCP windows and buffers are counted in
+//! **segments**: one data packet carries one MSS of payload, and sequence
+//! numbers count segments, not bytes. The on-the-wire `size` is still carried
+//! in bytes so that link serialization times and utilization are exact.
+
+use crate::sim::NodeId;
+use simcore::SimTime;
+
+/// Identifies one end-to-end flow (a TCP connection or a UDP stream).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The flow id as a dense index (flow ids are allocated sequentially).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// TCP header flags (only the ones the simulation uses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TcpFlags {
+    /// Connection-opening segment (we do not simulate the full 3-way
+    /// handshake, but SYN marks the first segment of a flow for tracing).
+    pub syn: bool,
+    /// Last segment of the flow.
+    pub fin: bool,
+}
+
+/// SACK option blocks: up to 3 `[start, end)` ranges of received segments
+/// above the cumulative ACK (RFC 2018 allows 3 blocks alongside the
+/// timestamp option). Wire values are 32-bit wrapping segment numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SackBlocks {
+    /// `[start, end)` pairs; only the first `len` are valid.
+    pub blocks: [(u32, u32); 3],
+    /// Number of valid blocks (0–3).
+    pub len: u8,
+}
+
+impl SackBlocks {
+    /// No SACK information.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); 3],
+        len: 0,
+    };
+
+    /// Builds from a slice of `[start, end)` pairs (at most 3 used).
+    pub fn from_slice(blocks: &[(u32, u32)]) -> Self {
+        let mut out = SackBlocks::EMPTY;
+        for (i, &b) in blocks.iter().take(3).enumerate() {
+            out.blocks[i] = b;
+            out.len = i as u8 + 1;
+        }
+        out
+    }
+
+    /// The valid blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.blocks[..self.len as usize].iter().copied()
+    }
+
+    /// True when no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The subset of a TCP header the simulation needs.
+///
+/// `seq`/`ack` are 32-bit wrapping *segment* numbers; `tcpsim::seq` provides
+/// the wrap-safe comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TcpHeader {
+    /// Segment sequence number of a data packet (first segment is 0).
+    pub seq: u32,
+    /// Cumulative acknowledgement: next segment number expected.
+    pub ack: u32,
+    /// SYN/FIN flags.
+    pub flags: TcpFlags,
+    /// Timestamp echoed by the receiver (TCP timestamp option, used for RTT
+    /// measurement). On data packets this is the send time; on ACKs it echoes
+    /// the newest data segment's timestamp.
+    pub ts: SimTime,
+    /// SACK blocks (empty on data packets and non-SACK ACKs).
+    pub sack: SackBlocks,
+}
+
+/// What kind of payload a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// A TCP data segment.
+    TcpData(TcpHeader),
+    /// A (pure) TCP acknowledgement.
+    TcpAck(TcpHeader),
+    /// A UDP datagram with an application sequence number.
+    Udp {
+        /// Application-level sequence number (for loss estimation).
+        seq: u64,
+    },
+}
+
+impl PacketKind {
+    /// True for TCP data segments.
+    pub fn is_tcp_data(&self) -> bool {
+        matches!(self, PacketKind::TcpData(_))
+    }
+
+    /// True for TCP acknowledgements.
+    pub fn is_tcp_ack(&self) -> bool {
+        matches!(self, PacketKind::TcpAck(_))
+    }
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique id (diagnostics; never reused, survives forwarding).
+    pub uid: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Wire size in bytes (headers + payload).
+    pub size: u32,
+    /// Payload description.
+    pub kind: PacketKind,
+    /// Time the packet was created at its source.
+    pub created: SimTime,
+}
+
+impl Packet {
+    /// Size of a pure ACK packet in bytes (TCP/IP headers only).
+    pub const ACK_SIZE: u32 = 40;
+
+    /// Default MSS-sized data packet in bytes (ns-2's conventional 1000-byte
+    /// packet, as used throughout the paper's simulations).
+    pub const DEFAULT_DATA_SIZE: u32 = 1000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let hdr = TcpHeader {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            ts: SimTime::ZERO,
+            sack: SackBlocks::EMPTY,
+        };
+        assert!(PacketKind::TcpData(hdr).is_tcp_data());
+        assert!(!PacketKind::TcpData(hdr).is_tcp_ack());
+        assert!(PacketKind::TcpAck(hdr).is_tcp_ack());
+        assert!(!PacketKind::Udp { seq: 0 }.is_tcp_data());
+    }
+
+    #[test]
+    fn flow_index() {
+        assert_eq!(FlowId(7).index(), 7);
+    }
+}

@@ -1,0 +1,202 @@
+//! Output-queue abstraction and the drop-tail FIFO used throughout the paper.
+//!
+//! The paper's router model is "a single FIFO queue with drop-tail" (§5.1);
+//! RED lives in [`crate::red`]. The buffer limit is expressed in packets or
+//! bytes via [`QueueCapacity`]; the paper sizes buffers in packets.
+
+use crate::packet::Packet;
+use simcore::{Rng, SimTime};
+
+/// How a queue's capacity is expressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueCapacity {
+    /// At most this many packets may wait in the queue.
+    Packets(usize),
+    /// At most this many bytes may wait in the queue.
+    Bytes(u64),
+}
+
+impl QueueCapacity {
+    /// The capacity in packets, assuming `pkt_size`-byte packets (rounding
+    /// down, minimum 1). Useful for reporting.
+    pub fn as_packets(&self, pkt_size: u32) -> usize {
+        match *self {
+            QueueCapacity::Packets(p) => p,
+            QueueCapacity::Bytes(b) => ((b / pkt_size as u64) as usize).max(1),
+        }
+    }
+}
+
+/// An output queue attached to a link.
+///
+/// `enqueue` returns `Err(packet)` when the packet is rejected (dropped); the
+/// kernel accounts the drop. Queues may consult the RNG (RED does) and the
+/// current time (for averaging), which is why both are threaded through.
+pub trait Queue: Send {
+    /// Offers a packet to the queue.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut Rng) -> Result<(), Packet>;
+
+    /// Removes the packet at the head of the queue.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Number of packets currently waiting.
+    fn len_packets(&self) -> usize;
+
+    /// Number of bytes currently waiting.
+    fn len_bytes(&self) -> u64;
+
+    /// The configured capacity.
+    fn capacity(&self) -> QueueCapacity;
+
+    /// True iff no packets are waiting.
+    fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+}
+
+/// A FIFO queue that drops arriving packets when full (drop-tail).
+#[derive(Debug)]
+pub struct DropTail {
+    items: std::collections::VecDeque<Packet>,
+    bytes: u64,
+    capacity: QueueCapacity,
+}
+
+impl DropTail {
+    /// Creates a drop-tail queue with the given capacity.
+    pub fn new(capacity: QueueCapacity) -> Self {
+        DropTail {
+            items: std::collections::VecDeque::new(),
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    /// Convenience constructor: capacity in packets.
+    pub fn with_packets(pkts: usize) -> Self {
+        Self::new(QueueCapacity::Packets(pkts))
+    }
+
+    fn would_overflow(&self, pkt: &Packet) -> bool {
+        match self.capacity {
+            QueueCapacity::Packets(p) => self.items.len() + 1 > p,
+            QueueCapacity::Bytes(b) => self.bytes + pkt.size as u64 > b,
+        }
+    }
+}
+
+impl Queue for DropTail {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime, _rng: &mut Rng) -> Result<(), Packet> {
+        if self.would_overflow(&pkt) {
+            return Err(pkt);
+        }
+        self.bytes += pkt.size as u64;
+        self.items.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        let pkt = self.items.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.items.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn capacity(&self) -> QueueCapacity {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::sim::NodeId;
+
+    fn pkt(uid: u64, size: u32) -> Packet {
+        Packet {
+            uid,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            kind: PacketKind::Udp { seq: uid },
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTail::with_packets(10);
+        let mut rng = Rng::new(0);
+        for i in 0..5 {
+            q.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drops_when_full_packets() {
+        let mut q = DropTail::with_packets(2);
+        let mut rng = Rng::new(0);
+        assert!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut rng).is_ok());
+        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO, &mut rng).is_ok());
+        let rejected = q.enqueue(pkt(2, 100), SimTime::ZERO, &mut rng);
+        assert_eq!(rejected.unwrap_err().uid, 2);
+        assert_eq!(q.len_packets(), 2);
+        // Space frees after a dequeue.
+        q.dequeue(SimTime::ZERO).unwrap();
+        assert!(q.enqueue(pkt(3, 100), SimTime::ZERO, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn drops_when_full_bytes() {
+        let mut q = DropTail::new(QueueCapacity::Bytes(250));
+        let mut rng = Rng::new(0);
+        assert!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut rng).is_ok());
+        assert!(q.enqueue(pkt(1, 100), SimTime::ZERO, &mut rng).is_ok());
+        // 100 more bytes would exceed 250.
+        assert!(q.enqueue(pkt(2, 100), SimTime::ZERO, &mut rng).is_err());
+        // But a 50-byte packet still fits.
+        assert!(q.enqueue(pkt(3, 50), SimTime::ZERO, &mut rng).is_ok());
+        assert_eq!(q.len_bytes(), 250);
+    }
+
+    #[test]
+    fn byte_accounting_matches() {
+        let mut q = DropTail::with_packets(100);
+        let mut rng = Rng::new(0);
+        for i in 0..10 {
+            q.enqueue(pkt(i, 40 + i as u32), SimTime::ZERO, &mut rng)
+                .unwrap();
+        }
+        let total: u64 = (0..10u64).map(|i| 40 + i).sum();
+        assert_eq!(q.len_bytes(), total);
+        q.dequeue(SimTime::ZERO).unwrap();
+        assert_eq!(q.len_bytes(), total - 40);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut q = DropTail::with_packets(0);
+        let mut rng = Rng::new(0);
+        assert!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut rng).is_err());
+    }
+
+    #[test]
+    fn capacity_as_packets() {
+        assert_eq!(QueueCapacity::Packets(64).as_packets(1000), 64);
+        assert_eq!(QueueCapacity::Bytes(64_000).as_packets(1000), 64);
+        assert_eq!(QueueCapacity::Bytes(100).as_packets(1000), 1);
+    }
+}

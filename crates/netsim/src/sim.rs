@@ -1,0 +1,1043 @@
+//! The simulation kernel: event loop, packet forwarding, agent dispatch.
+//!
+//! [`Sim`] owns the network (nodes + links), the protocol endpoints
+//! ([`Agent`] trait objects), the event queue, the RNG, and the trace sink.
+//! Agents interact with the world exclusively through [`Ctx`], which keeps
+//! the borrow structure simple and the simulation deterministic.
+//!
+//! ## Life of a packet
+//!
+//! 1. An agent calls [`Ctx::send`]. If send jitter is configured (ns-2's
+//!    "overhead", used to break simulator phase effects) the injection is
+//!    delayed by a uniform random jitter, otherwise it happens immediately.
+//! 2. Injection at a node looks up the egress link by destination. The
+//!    packet either starts serializing right away (idle transmitter) or
+//!    waits in the link's output queue — or is dropped if the queue is full.
+//!    **The buffer the paper sizes is this queue.**
+//! 3. When serialization ends, the packet propagates for the link delay and
+//!    arrives at the downstream node: routers forward it (step 2), hosts
+//!    deliver it to the agent bound to `(node, flow)`.
+
+use crate::eventlog::{PacketEvent, PacketLog, PacketRecord};
+use crate::link::Link;
+use crate::node::{Node, NodeKind};
+use crate::packet::{FlowId, Packet, PacketKind};
+use simcore::trace::TraceSink;
+use simcore::{EventQueue, Rng, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Index of a node in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of a link in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Index of an agent in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AgentId(pub u32);
+
+impl NodeId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl LinkId {
+    /// The link id as a dense index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl AgentId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A protocol endpoint living on a host node.
+///
+/// Implementations must provide `as_any`/`as_any_mut` so experiment code can
+/// downcast (e.g. to read a TCP agent's congestion window when sampling the
+/// aggregate window process of Figure 6).
+pub trait Agent {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Called when a packet addressed to this agent's flow arrives at its
+    /// host.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    /// Upcast for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast for downcasting (mutable).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Serialization of the in-flight packet on `link` completed.
+    TxEnd { link: LinkId },
+    /// A packet arrives at the downstream end of `link`.
+    Arrival { link: LinkId, packet: Packet },
+    /// Agent timer.
+    Timer { agent: AgentId, token: u64 },
+    /// Deferred injection (send jitter).
+    Inject { node: NodeId, packet: Packet },
+    /// Periodic queue-occupancy sampling.
+    QueueSample { period: SimDuration },
+}
+
+/// Global kernel counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Events processed.
+    pub events: u64,
+    /// Packets forwarded by routers.
+    pub forwarded: u64,
+    /// Packets delivered to agents.
+    pub delivered: u64,
+    /// Packets that arrived at a host with no agent bound to their flow, or
+    /// at a node with no route to the destination.
+    pub unroutable: u64,
+    /// Packets dropped by queues.
+    pub drops: u64,
+}
+
+/// Per-flow network-level counters (indexed by [`FlowId`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowNetStats {
+    /// Packets of this flow dropped anywhere in the network.
+    pub drops: u64,
+    /// Data packets of this flow dropped anywhere in the network.
+    pub data_drops: u64,
+    /// Packets of this flow delivered to an endpoint.
+    pub delivered: u64,
+}
+
+/// Everything except the agents (split so agent callbacks can borrow the
+/// kernel mutably while the agent itself is mutably borrowed).
+pub struct Kernel {
+    now: SimTime,
+    events: EventQueue<Event>,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    in_flight: Vec<Option<Packet>>,
+    endpoints: HashMap<(NodeId, FlowId), AgentId>,
+    rng: Rng,
+    trace: TraceSink,
+    next_uid: u64,
+    stats: KernelStats,
+    flow_stats: Vec<FlowNetStats>,
+    send_jitter: Option<SimDuration>,
+    packet_log: Option<PacketLog>,
+    /// Per-node time of the latest scheduled (jittered) injection; used to
+    /// keep jittered sends in FIFO order per node. Jitter models host
+    /// processing variability, and a host never reorders its own
+    /// back-to-back segments — uncorrected per-packet jitter would cause
+    /// spurious duplicate ACKs and bogus fast retransmits.
+    last_inject: Vec<SimTime>,
+}
+
+impl Kernel {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel RNG (the master stream; fork it for per-component streams).
+    pub fn rng_mut(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// The trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The trace sink, mutably.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// Mutable access to a link.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.idx()]
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.idx()]
+    }
+
+    /// Global counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Per-flow counters (zeros for flows that never appeared).
+    pub fn flow_stats(&self, flow: FlowId) -> FlowNetStats {
+        self.flow_stats
+            .get(flow.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn flow_stats_mut(&mut self, flow: FlowId) -> &mut FlowNetStats {
+        let i = flow.index();
+        if i >= self.flow_stats.len() {
+            self.flow_stats.resize(i + 1, FlowNetStats::default());
+        }
+        &mut self.flow_stats[i]
+    }
+
+    /// The packet log, if tracing is enabled.
+    pub fn packet_log(&self) -> Option<&PacketLog> {
+        self.packet_log.as_ref()
+    }
+
+    fn log_packet(&mut self, pkt: &Packet, link: Option<LinkId>, event: PacketEvent) {
+        if let Some(log) = &mut self.packet_log {
+            log.push(PacketRecord {
+                time: self.now,
+                uid: pkt.uid,
+                flow: pkt.flow,
+                link,
+                event,
+            });
+        }
+    }
+
+    /// Allocates a packet uid.
+    fn alloc_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    /// Injects `packet` at `node`: route lookup, then queue or transmit.
+    fn inject(&mut self, node: NodeId, packet: Packet) {
+        let Some(lid) = self.nodes[node.idx()].routes.lookup(packet.dst) else {
+            self.stats.unroutable += 1;
+            return;
+        };
+        self.enqueue_on_link(lid, packet);
+    }
+
+    fn enqueue_on_link(&mut self, lid: LinkId, packet: Packet) {
+        let now = self.now;
+        // Fault injection: random link loss, independent of the queue.
+        let loss = self.links[lid.idx()].random_loss;
+        if loss > 0.0 && self.rng.chance(loss) {
+            let link = &mut self.links[lid.idx()];
+            link.monitor.on_offered(link.queue.len_packets());
+            link.monitor.on_drop();
+            self.stats.drops += 1;
+            let is_data = packet.kind.is_tcp_data();
+            let fs = self.flow_stats_mut(packet.flow);
+            fs.drops += 1;
+            if is_data {
+                fs.data_drops += 1;
+            }
+            self.log_packet(&packet, Some(lid), PacketEvent::Dropped);
+            return;
+        }
+        let link = &mut self.links[lid.idx()];
+        if !link.busy {
+            // Transmitter idle ⇒ queue is empty (kernel invariant); the
+            // packet starts serializing immediately and does not consume
+            // buffer space. The configured buffer limits *waiting* packets,
+            // matching ns-2 drop-tail semantics.
+            debug_assert!(link.queue.is_empty());
+            let qlen = link.queue.len_packets();
+            link.monitor.on_offered(qlen);
+            self.log_packet(&packet, Some(lid), PacketEvent::Queued);
+            self.start_tx(lid, packet);
+        } else {
+            self.log_packet(&packet, Some(lid), PacketEvent::Queued);
+            let link = &mut self.links[lid.idx()];
+            match link.queue.enqueue(packet, now, &mut self.rng) {
+                Ok(()) => {
+                    let qlen = link.queue.len_packets();
+                    link.monitor.on_offered(qlen);
+                }
+                Err(dropped) => {
+                    let qlen = link.queue.len_packets();
+                    link.monitor.on_offered(qlen);
+                    link.monitor.on_drop();
+                    self.stats.drops += 1;
+                    let is_data = dropped.kind.is_tcp_data();
+                    let fs = self.flow_stats_mut(dropped.flow);
+                    fs.drops += 1;
+                    if is_data {
+                        fs.data_drops += 1;
+                    }
+                    self.log_packet(&dropped, Some(lid), PacketEvent::Dropped);
+                }
+            }
+        }
+    }
+
+    fn start_tx(&mut self, lid: LinkId, packet: Packet) {
+        let link = &mut self.links[lid.idx()];
+        debug_assert!(!link.busy);
+        link.busy = true;
+        let tx = link.tx_time(packet.size);
+        self.in_flight[lid.idx()] = Some(packet);
+        self.events.schedule(self.now + tx, Event::TxEnd { link: lid });
+    }
+
+    fn on_tx_end(&mut self, lid: LinkId) {
+        let packet = self.in_flight[lid.idx()]
+            .take()
+            .expect("TxEnd with no packet in flight");
+        let link = &mut self.links[lid.idx()];
+        let tx = link.tx_time(packet.size);
+        link.monitor.on_tx(packet.size, tx);
+        let delay = link.delay;
+        self.log_packet(&packet, Some(lid), PacketEvent::Transmitted);
+        self.events.schedule(
+            self.now + delay,
+            Event::Arrival { link: lid, packet },
+        );
+        // Pull the next waiting packet, if any.
+        let link = &mut self.links[lid.idx()];
+        if let Some(next) = link.queue.dequeue(self.now) {
+            link.busy = false; // start_tx asserts !busy
+            self.start_tx(lid, next);
+        } else {
+            link.busy = false;
+        }
+    }
+
+    fn sample_queues(&mut self) {
+        let now = self.now;
+        for link in &self.links {
+            if link.sample_queue {
+                // Include the packet currently being serialized so the trace
+                // matches "buffer occupancy" figures (which include the head
+                // packet) — ns-2's queue monitors do the same.
+                let in_service = usize::from(link.busy);
+                self.trace.record(
+                    &format!("queue.{}", link.name),
+                    now,
+                    (link.queue.len_packets() + in_service) as f64,
+                );
+            }
+        }
+    }
+}
+
+/// The agent-facing view of the kernel during a callback.
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    /// The agent being called.
+    pub agent: AgentId,
+    /// The host node the agent lives on.
+    pub node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Creates a packet originating at this agent's node.
+    pub fn make_packet(
+        &mut self,
+        flow: FlowId,
+        dst: NodeId,
+        size: u32,
+        kind: PacketKind,
+    ) -> Packet {
+        let uid = self.kernel.alloc_uid();
+        Packet {
+            uid,
+            flow,
+            src: self.node,
+            dst,
+            size,
+            kind,
+            created: self.kernel.now,
+        }
+    }
+
+    /// Sends a packet from this agent's node. Applies the configured send
+    /// jitter, if any.
+    pub fn send(&mut self, packet: Packet) {
+        match self.kernel.send_jitter {
+            Some(j) if !j.is_zero() => {
+                let jitter =
+                    SimDuration::from_nanos(self.kernel.rng.u64_below(j.as_nanos().max(1)));
+                let node = self.node;
+                // Clamp so this node's injections stay in send order (the
+                // event queue breaks time ties FIFO, so equality is fine).
+                let mut t = self.kernel.now + jitter;
+                let last = self.kernel.last_inject[node.idx()];
+                if t < last {
+                    t = last;
+                }
+                self.kernel.last_inject[node.idx()] = t;
+                self.kernel
+                    .events
+                    .schedule(t, Event::Inject { node, packet });
+            }
+            _ => self.kernel.inject(self.node, packet),
+        }
+    }
+
+    /// Schedules [`Agent::on_timer`] for this agent after `delay` with the
+    /// given token. There is no cancel: agents version their tokens and
+    /// ignore stale ones.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let agent = self.agent;
+        self.kernel
+            .events
+            .schedule(self.kernel.now + delay, Event::Timer { agent, token });
+    }
+
+    /// The deterministic RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.kernel.rng
+    }
+
+    /// The trace sink (for recording cwnd evolution and the like).
+    pub fn trace(&mut self) -> &mut TraceSink {
+        &mut self.kernel.trace
+    }
+}
+
+struct AgentSlot {
+    agent: Box<dyn Agent>,
+    node: NodeId,
+}
+
+/// The complete simulation: kernel + agents.
+pub struct Sim {
+    kernel: Kernel,
+    agents: Vec<AgentSlot>,
+    started: bool,
+}
+
+impl Sim {
+    /// Creates an empty simulation with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                events: EventQueue::with_capacity(1024),
+                nodes: Vec::new(),
+                links: Vec::new(),
+                in_flight: Vec::new(),
+                endpoints: HashMap::new(),
+                rng: Rng::new(seed),
+                trace: TraceSink::new(false),
+                next_uid: 0,
+                stats: KernelStats::default(),
+                flow_stats: Vec::new(),
+                send_jitter: None,
+                packet_log: None,
+                last_inject: Vec::new(),
+            },
+            agents: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Enables trace recording (off by default).
+    pub fn enable_tracing(&mut self) {
+        self.kernel.trace = TraceSink::new(true);
+    }
+
+    /// Enables per-packet event logging with a bounded capacity (off by
+    /// default; see [`crate::eventlog::PacketLog`]).
+    pub fn enable_packet_log(&mut self, capacity: usize) {
+        self.kernel.packet_log = Some(PacketLog::new(capacity));
+    }
+
+    /// Applies a uniform random delay in `[0, jitter)` to every agent send.
+    /// This is ns-2's "overhead" knob, used to break artificial phase
+    /// effects / synchronization in simulations.
+    pub fn set_send_jitter(&mut self, jitter: SimDuration) {
+        self.kernel.send_jitter = Some(jitter);
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.kernel.nodes.len() as u32);
+        self.kernel.nodes.push(Node::new(name, kind));
+        self.kernel.last_inject.push(SimTime::ZERO);
+        id
+    }
+
+    /// Adds a link; endpoints must already exist.
+    pub fn add_link(&mut self, link: Link) -> LinkId {
+        assert!(link.from.idx() < self.kernel.nodes.len(), "bad from node");
+        assert!(link.to.idx() < self.kernel.nodes.len(), "bad to node");
+        let id = LinkId(self.kernel.links.len() as u32);
+        self.kernel.links.push(link);
+        self.kernel.in_flight.push(None);
+        id
+    }
+
+    /// Attaches an agent to a host node.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        assert_eq!(
+            self.kernel.nodes[node.idx()].kind,
+            NodeKind::Host,
+            "agents live on hosts"
+        );
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(AgentSlot { agent, node });
+        id
+    }
+
+    /// Binds packets of `flow` arriving at `node` to `agent`.
+    pub fn bind_flow(&mut self, flow: FlowId, node: NodeId, agent: AgentId) {
+        self.kernel.endpoints.insert((node, flow), agent);
+    }
+
+    /// Starts the simulation: every agent's `on_start` runs in id order.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        for i in 0..self.agents.len() {
+            self.dispatch_start(AgentId(i as u32));
+        }
+    }
+
+    fn dispatch_start(&mut self, aid: AgentId) {
+        let slot = &mut self.agents[aid.idx()];
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            agent: aid,
+            node: slot.node,
+        };
+        slot.agent.on_start(&mut ctx);
+    }
+
+    fn dispatch_packet(&mut self, aid: AgentId, pkt: Packet) {
+        let slot = &mut self.agents[aid.idx()];
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            agent: aid,
+            node: slot.node,
+        };
+        slot.agent.on_packet(pkt, &mut ctx);
+    }
+
+    fn dispatch_timer(&mut self, aid: AgentId, token: u64) {
+        let slot = &mut self.agents[aid.idx()];
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            agent: aid,
+            node: slot.node,
+        };
+        slot.agent.on_timer(token, &mut ctx);
+    }
+
+    /// Processes all events with `time <= until`, then sets the clock to
+    /// `until`. Calling with a time in the past is a no-op.
+    pub fn run_until(&mut self, until: SimTime) {
+        assert!(self.started, "call start() before running");
+        while let Some(t) = self.kernel.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.kernel.events.pop().expect("peeked");
+            self.kernel.now = t;
+            self.kernel.stats.events += 1;
+            match ev {
+                Event::TxEnd { link } => self.kernel.on_tx_end(link),
+                Event::Arrival { link, packet } => {
+                    let node = self.kernel.links[link.idx()].to;
+                    match self.kernel.nodes[node.idx()].kind {
+                        NodeKind::Router => {
+                            self.kernel.stats.forwarded += 1;
+                            self.kernel.inject(node, packet);
+                        }
+                        NodeKind::Host => {
+                            match self.kernel.endpoints.get(&(node, packet.flow)).copied() {
+                                Some(aid) => {
+                                    self.kernel.stats.delivered += 1;
+                                    self.kernel.flow_stats_mut(packet.flow).delivered += 1;
+                                    self.kernel
+                                        .log_packet(&packet, None, PacketEvent::Delivered);
+                                    self.dispatch_packet(aid, packet);
+                                }
+                                None => self.kernel.stats.unroutable += 1,
+                            }
+                        }
+                    }
+                }
+                Event::Timer { agent, token } => self.dispatch_timer(agent, token),
+                Event::Inject { node, packet } => self.kernel.inject(node, packet),
+                Event::QueueSample { period } => {
+                    self.kernel.sample_queues();
+                    self.kernel
+                        .events
+                        .schedule(self.kernel.now + period, Event::QueueSample { period });
+                }
+            }
+        }
+        if until > self.kernel.now {
+            self.kernel.now = until;
+        }
+    }
+
+    /// Runs for `d` beyond the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.kernel.now + d;
+        self.run_until(target);
+    }
+
+    /// Enables periodic queue sampling (links opt in via
+    /// [`Link::sample_queue`]); samples land in the trace sink as
+    /// `queue.<link name>` series.
+    pub fn enable_queue_sampling(&mut self, period: SimDuration) {
+        assert!(!period.is_zero());
+        self.kernel
+            .events
+            .schedule(self.kernel.now + period, Event::QueueSample { period });
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Kernel access.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Kernel access, mutably.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Downcasts an agent to a concrete type.
+    pub fn agent_as<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents[id.idx()].agent.as_any().downcast_ref::<T>()
+    }
+
+    /// Downcasts an agent to a concrete type, mutably.
+    pub fn agent_as_mut<T: 'static>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.agents[id.idx()]
+            .agent
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueCapacity;
+
+    /// A source that sends `count` UDP packets of `size` bytes, `gap` apart.
+    struct UdpSource {
+        flow: FlowId,
+        dst: NodeId,
+        count: u32,
+        size: u32,
+        gap: SimDuration,
+        sent: u32,
+    }
+
+    impl Agent for UdpSource {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            if self.sent < self.count {
+                let pkt = self.make(ctx);
+                ctx.send(pkt);
+                self.sent += 1;
+                ctx.set_timer(self.gap, 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl UdpSource {
+        fn make(&self, ctx: &mut Ctx<'_>) -> Packet {
+            ctx.make_packet(
+                self.flow,
+                self.dst,
+                self.size,
+                PacketKind::Udp {
+                    seq: self.sent as u64,
+                },
+            )
+        }
+    }
+
+    /// A sink that records arrival times.
+    #[derive(Default)]
+    struct UdpSink {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Agent for UdpSink {
+        fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.arrivals.push(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Two hosts, one link: h0 --(1 Mb/s, 10 ms)--> h1.
+    fn two_host_sim(buffer_pkts: usize) -> (Sim, NodeId, NodeId, LinkId) {
+        let mut sim = Sim::new(1);
+        let h0 = sim.add_node("h0", NodeKind::Host);
+        let h1 = sim.add_node("h1", NodeKind::Host);
+        let lid = sim.add_link(Link::new(
+            "l01",
+            h0,
+            h1,
+            1_000_000,
+            SimDuration::from_millis(10),
+            QueueCapacity::Packets(buffer_pkts),
+        ));
+        sim.kernel_mut().node_mut(h0).routes.add(h1, lid);
+        (sim, h0, h1, lid)
+    }
+
+    #[test]
+    fn packet_arrives_after_tx_plus_prop() {
+        let (mut sim, h0, h1, _) = two_host_sim(10);
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 1,
+            size: 1000, // 8 ms at 1 Mb/s
+            gap: SimDuration::from_secs(1),
+            sent: 0,
+        };
+        let src_id = sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        let _ = src_id;
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        let sink = sim.agent_as::<UdpSink>(sink_id).unwrap();
+        assert_eq!(sink.arrivals.len(), 1);
+        // 8 ms serialization + 10 ms propagation.
+        assert_eq!(sink.arrivals[0], SimTime::from_millis(18));
+    }
+
+    #[test]
+    fn queue_drops_excess_burst() {
+        // 5 packets sent back-to-back into a 2-packet buffer: 1 in service +
+        // 2 queued = 3 survive, 2 drop.
+        let (mut sim, h0, h1, lid) = two_host_sim(2);
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 5,
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.agent_as::<UdpSink>(sink_id).unwrap();
+        assert_eq!(sink.arrivals.len(), 3);
+        assert_eq!(sim.kernel().stats().drops, 2);
+        assert_eq!(sim.kernel().flow_stats(FlowId(0)).drops, 2);
+        assert_eq!(sim.kernel().link(lid).monitor.totals().drops, 2);
+    }
+
+    #[test]
+    fn back_to_back_spacing_is_serialization_time() {
+        let (mut sim, h0, h1, _) = two_host_sim(10);
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 3,
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        let sink = sim.agent_as::<UdpSink>(sink_id).unwrap();
+        assert_eq!(sink.arrivals.len(), 3);
+        let gap1 = sink.arrivals[1] - sink.arrivals[0];
+        let gap2 = sink.arrivals[2] - sink.arrivals[1];
+        assert_eq!(gap1, SimDuration::from_millis(8));
+        assert_eq!(gap2, SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn forwarding_through_router() {
+        let mut sim = Sim::new(1);
+        let h0 = sim.add_node("h0", NodeKind::Host);
+        let r = sim.add_node("r", NodeKind::Router);
+        let h1 = sim.add_node("h1", NodeKind::Host);
+        let l0 = sim.add_link(Link::new(
+            "h0-r",
+            h0,
+            r,
+            1_000_000,
+            SimDuration::from_millis(1),
+            QueueCapacity::Packets(10),
+        ));
+        let l1 = sim.add_link(Link::new(
+            "r-h1",
+            r,
+            h1,
+            1_000_000,
+            SimDuration::from_millis(1),
+            QueueCapacity::Packets(10),
+        ));
+        sim.kernel_mut().node_mut(h0).routes.set_default(l0);
+        sim.kernel_mut().node_mut(r).routes.add(h1, l1);
+        let src = UdpSource {
+            flow: FlowId(7),
+            dst: h1,
+            count: 1,
+            size: 125, // 1 ms at 1 Mb/s
+            gap: SimDuration::from_secs(1),
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(7), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        let sink = sim.agent_as::<UdpSink>(sink_id).unwrap();
+        assert_eq!(sink.arrivals.len(), 1);
+        // Store-and-forward: (1ms tx + 1ms prop) twice.
+        assert_eq!(sink.arrivals[0], SimTime::from_millis(4));
+        assert_eq!(sim.kernel().stats().forwarded, 1);
+    }
+
+    #[test]
+    fn unroutable_is_counted_not_fatal() {
+        let (mut sim, h0, h1, _) = two_host_sim(10);
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 1,
+            size: 100,
+            gap: SimDuration::from_secs(1),
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        // No sink bound: delivery fails gracefully.
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.kernel().stats().unroutable, 1);
+    }
+
+    #[test]
+    fn utilization_of_saturated_link() {
+        // Send 1000-byte packets back to back for 1 s over a 1 Mb/s link:
+        // utilization after warm-up should be ~100%.
+        let (mut sim, h0, h1, lid) = two_host_sim(1000);
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 200, // 200 * 8 ms = 1.6 s of serialization
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_millis(100));
+        sim.kernel_mut().link_mut(lid).monitor.mark(SimTime::from_millis(100));
+        sim.run_until(SimTime::from_millis(1100));
+        let util = sim
+            .kernel()
+            .link(lid)
+            .monitor
+            .utilization(sim.now(), 1_000_000);
+        assert!(util > 0.999, "util = {util}");
+    }
+
+    #[test]
+    fn deterministic_same_seed() {
+        let run = |seed: u64| -> Vec<SimTime> {
+            let mut sim = Sim::new(seed);
+            let h0 = sim.add_node("h0", NodeKind::Host);
+            let h1 = sim.add_node("h1", NodeKind::Host);
+            let lid = sim.add_link(Link::new(
+                "l01",
+                h0,
+                h1,
+                1_000_000,
+                SimDuration::from_millis(10),
+                QueueCapacity::Packets(5),
+            ));
+            sim.kernel_mut().node_mut(h0).routes.add(h1, lid);
+            sim.set_send_jitter(SimDuration::from_micros(100));
+            let src = UdpSource {
+                flow: FlowId(0),
+                dst: h1,
+                count: 50,
+                size: 500,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            };
+            sim.add_agent(h0, Box::new(src));
+            let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+            sim.bind_flow(FlowId(0), h1, sink_id);
+            sim.start();
+            sim.run_until(SimTime::from_secs(1));
+            sim.agent_as::<UdpSink>(sink_id).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn queue_sampling_records_series() {
+        let (mut sim, h0, h1, lid) = two_host_sim(100);
+        sim.enable_tracing();
+        sim.kernel_mut().link_mut(lid).sample_queue = true;
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 100,
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.enable_queue_sampling(SimDuration::from_millis(10));
+        sim.start();
+        sim.run_until(SimTime::from_millis(500));
+        let series = sim.kernel().trace().series("queue.l01").unwrap();
+        assert!(!series.is_empty());
+        // Early samples should see a substantial backlog.
+        assert!(series.iter().any(|p| p.value > 10.0));
+    }
+}
+
+#[cfg(test)]
+mod packet_log_tests {
+    use super::*;
+    use crate::eventlog::PacketEvent;
+    use crate::queue::QueueCapacity;
+
+    struct Burst {
+        flow: FlowId,
+        dst: NodeId,
+        n: u64,
+    }
+    impl Agent for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..self.n {
+                let p = ctx.make_packet(self.flow, self.dst, 1000, PacketKind::Udp { seq: i });
+                ctx.send(p);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[derive(Default)]
+    struct Sink;
+    impl Agent for Sink {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn packet_life_cycle_logged_in_order() {
+        let mut sim = Sim::new(1);
+        sim.enable_packet_log(1000);
+        let h0 = sim.add_node("h0", NodeKind::Host);
+        let h1 = sim.add_node("h1", NodeKind::Host);
+        let lid = sim.add_link(Link::new(
+            "l",
+            h0,
+            h1,
+            1_000_000,
+            SimDuration::from_millis(5),
+            QueueCapacity::Packets(2),
+        ));
+        sim.kernel_mut().node_mut(h0).routes.add(h1, lid);
+        sim.add_agent(
+            h0,
+            Box::new(Burst {
+                flow: FlowId(0),
+                dst: h1,
+                n: 5,
+            }),
+        );
+        let sink = sim.add_agent(h1, Box::new(Sink));
+        sim.bind_flow(FlowId(0), h1, sink);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+
+        let log = sim.kernel().packet_log().expect("enabled");
+        // 5 queued, 2 dropped (buffer 2 + 1 in service), 3 transmitted,
+        // 3 delivered.
+        let count = |e: PacketEvent| log.records().iter().filter(|r| r.event == e).count();
+        assert_eq!(count(PacketEvent::Queued), 5);
+        assert_eq!(count(PacketEvent::Dropped), 2);
+        assert_eq!(count(PacketEvent::Transmitted), 3);
+        assert_eq!(count(PacketEvent::Delivered), 3);
+        // A delivered packet's own records follow queued -> transmitted ->
+        // delivered in time order.
+        let first = log.for_packet(0);
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].event, PacketEvent::Queued);
+        assert_eq!(first[1].event, PacketEvent::Transmitted);
+        assert_eq!(first[2].event, PacketEvent::Delivered);
+        assert!(first[0].time <= first[1].time && first[1].time <= first[2].time);
+        // Render doesn't panic and contains drop markers.
+        assert!(log.render().contains(" d "));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the network substrate.
+
+use netsim::{DropTail, FlowId, NodeId, Packet, PacketKind, Queue, QueueCapacity};
+use proptest::prelude::*;
+use simcore::{Rng, SimTime};
+
+fn pkt(uid: u64, size: u32) -> Packet {
+    Packet {
+        uid,
+        flow: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        size,
+        kind: PacketKind::Udp { seq: uid },
+        created: SimTime::ZERO,
+    }
+}
+
+proptest! {
+    /// A drop-tail queue never exceeds its packet capacity, preserves FIFO
+    /// order, and conserves packets (accepted = dequeued at drain).
+    #[test]
+    fn droptail_capacity_fifo_conservation(
+        cap in 0usize..64,
+        ops in prop::collection::vec(prop::bool::ANY, 0..500),
+    ) {
+        let mut q = DropTail::with_packets(cap);
+        let mut rng = Rng::new(1);
+        let mut next_uid = 0u64;
+        let mut accepted = Vec::new();
+        let mut dequeued = Vec::new();
+        for enqueue in ops {
+            if enqueue {
+                let p = pkt(next_uid, 100);
+                next_uid += 1;
+                if q.enqueue(p, SimTime::ZERO, &mut rng).is_ok() {
+                    accepted.push(next_uid - 1);
+                }
+            } else if let Some(p) = q.dequeue(SimTime::ZERO) {
+                dequeued.push(p.uid);
+            }
+            prop_assert!(q.len_packets() <= cap);
+            prop_assert_eq!(q.len_bytes(), q.len_packets() as u64 * 100);
+        }
+        while let Some(p) = q.dequeue(SimTime::ZERO) {
+            dequeued.push(p.uid);
+        }
+        prop_assert_eq!(accepted, dequeued); // FIFO + conservation
+    }
+
+    /// Byte-capacity queues respect the byte bound for mixed packet sizes.
+    #[test]
+    fn droptail_byte_bound(
+        cap_bytes in 100u64..10_000,
+        sizes in prop::collection::vec(40u32..1500, 0..200),
+    ) {
+        let mut q = DropTail::new(QueueCapacity::Bytes(cap_bytes));
+        let mut rng = Rng::new(2);
+        for (i, &s) in sizes.iter().enumerate() {
+            let _ = q.enqueue(pkt(i as u64, s), SimTime::ZERO, &mut rng);
+            prop_assert!(q.len_bytes() <= cap_bytes);
+        }
+    }
+
+    /// RED never exceeds physical capacity either, and never drops when the
+    /// average sits below min_th.
+    #[test]
+    fn red_respects_capacity(
+        ops in prop::collection::vec(prop::bool::ANY, 0..300),
+    ) {
+        use netsim::red::RedConfig;
+        use netsim::Red;
+        use simcore::SimDuration;
+        let cap = 32;
+        let mut q = Red::new(RedConfig::recommended(cap, SimDuration::from_micros(80)));
+        let mut rng = Rng::new(3);
+        let mut uid = 0;
+        for enqueue in ops {
+            if enqueue {
+                let _ = q.enqueue(pkt(uid, 1000), SimTime::ZERO, &mut rng);
+                uid += 1;
+            } else {
+                let _ = q.dequeue(SimTime::ZERO);
+            }
+            prop_assert!(q.len_packets() <= cap);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! A timestamped event queue with deterministic tie-breaking.
+//!
+//! [`EventQueue`] is a min-heap keyed on `(SimTime, sequence)`: events that
+//! are scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO). This matters for reproducibility — a plain
+//! `BinaryHeap<(SimTime, E)>` would order simultaneous events by the payload's
+//! `Ord`, which changes whenever the payload type changes shape.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "b");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(5), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "b"))); // FIFO at equal time
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Total number of events ever scheduled (diagnostic).
+    scheduled: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`. Events at the same time fire in
+    /// scheduling order.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for i in (0..10).rev() {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        let mut last = None;
+        while let Some((t, _)) = q.pop() {
+            if let Some(prev) = last {
+                assert!(t >= prev);
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn fifo_at_equal_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "late");
+        q.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.schedule(SimTime::from_secs(2), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_counters() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(5), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn simulation_loop_pattern() {
+        // Emulate a tiny self-scheduling process: fire every 10 ms, 5 times.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, n)) = q.pop() {
+            fired.push((t, n));
+            if n < 4 {
+                q.schedule(t + SimDuration::from_millis(10), n + 1);
+            }
+        }
+        assert_eq!(fired.len(), 5);
+        assert_eq!(fired[4].0, SimTime::from_millis(40));
+    }
+}

@@ -1,0 +1,126 @@
+//! Lightweight, allocation-conscious tracing for simulations.
+//!
+//! A [`TraceSink`] collects `(time, value)` samples for named series — cwnd
+//! evolution, queue occupancy, utilization — exactly the series plotted in
+//! the paper's Figures 3–6. Tracing is opt-in per series and costs one vector
+//! push per sample, so it can stay enabled even in long runs.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// One sampled point of a traced series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Simulation time of the sample.
+    pub time: SimTime,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A named collection of time series.
+///
+/// Series are keyed by `String` names like `"cwnd.3"` or `"queue.bottleneck"`.
+/// Iteration order is deterministic (BTreeMap).
+#[derive(Default, Debug)]
+pub struct TraceSink {
+    series: BTreeMap<String, Vec<TracePoint>>,
+    enabled: bool,
+}
+
+impl TraceSink {
+    /// Creates a sink; `enabled = false` turns every `record` into a no-op.
+    pub fn new(enabled: bool) -> Self {
+        TraceSink {
+            series: BTreeMap::new(),
+            enabled,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one sample in the named series (no-op when disabled).
+    pub fn record(&mut self, name: &str, time: SimTime, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push(TracePoint { time, value });
+    }
+
+    /// Returns a series by name, if it has any samples.
+    pub fn series(&self, name: &str) -> Option<&[TracePoint]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// Iterates over all `(name, samples)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[TracePoint])> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// All series names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of samples across all series.
+    pub fn total_samples(&self) -> usize {
+        self.series.values().map(|v| v.len()).sum()
+    }
+
+    /// Removes all recorded data (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = TraceSink::new(true);
+        t.record("cwnd", SimTime::from_secs(1), 10.0);
+        t.record("cwnd", SimTime::from_secs(2), 11.0);
+        t.record("queue", SimTime::from_secs(1), 3.0);
+        assert_eq!(t.series("cwnd").unwrap().len(), 2);
+        assert_eq!(t.series("queue").unwrap().len(), 1);
+        assert_eq!(t.total_samples(), 3);
+        assert_eq!(t.names(), vec!["cwnd", "queue"]);
+    }
+
+    #[test]
+    fn noop_when_disabled() {
+        let mut t = TraceSink::new(false);
+        t.record("cwnd", SimTime::ZERO, 1.0);
+        assert!(t.series("cwnd").is_none());
+        assert_eq!(t.total_samples(), 0);
+    }
+
+    #[test]
+    fn clear_retains_flag() {
+        let mut t = TraceSink::new(true);
+        t.record("x", SimTime::ZERO, 0.0);
+        t.clear();
+        assert!(t.is_enabled());
+        assert_eq!(t.total_samples(), 0);
+    }
+
+    #[test]
+    fn samples_preserve_order() {
+        let mut t = TraceSink::new(true);
+        for i in 0..10 {
+            t.record("s", SimTime::from_millis(i), i as f64);
+        }
+        let s = t.series("s").unwrap();
+        for (i, p) in s.iter().enumerate() {
+            assert_eq!(p.time, SimTime::from_millis(i as u64));
+            assert_eq!(p.value, i as f64);
+        }
+    }
+}

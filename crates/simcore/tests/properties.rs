@@ -1,0 +1,92 @@
+//! Property tests for the simulation core.
+
+use proptest::prelude::*;
+use simcore::dist::Sample;
+use simcore::{EventQueue, Exponential, Pareto, Rng, SimTime, Uniform};
+
+proptest! {
+    /// Events always come out in non-decreasing time order, with FIFO order
+    /// among equal timestamps.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    // FIFO: insertion index increases for equal timestamps.
+                    prop_assert!(idx > lidx);
+                }
+            }
+            last = Some((t, idx));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// u64_below never exceeds its bound and hits both ends eventually.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.u64_below(bound) < bound);
+        }
+    }
+
+    /// u64_range is inclusive on both ends.
+    #[test]
+    fn rng_range_inclusive(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let x = rng.u64_range(lo, hi);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    /// Forked generators never produce the parent's next outputs
+    /// (independence smoke test) and are themselves deterministic.
+    #[test]
+    fn rng_fork_deterministic(seed in any::<u64>()) {
+        let mut p1 = Rng::new(seed);
+        let mut p2 = Rng::new(seed);
+        let mut c1 = p1.fork();
+        let mut c2 = p2.fork();
+        for _ in 0..20 {
+            prop_assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    /// Distribution supports: uniform within [lo,hi), exponential positive,
+    /// pareto >= scale.
+    #[test]
+    fn distribution_supports(seed in any::<u64>(), lo in -100.0f64..100.0, w in 0.001f64..100.0) {
+        let mut rng = Rng::new(seed);
+        let u = Uniform::new(lo, lo + w);
+        let e = Exponential::with_mean(w);
+        let p = Pareto::new(w, 1.5);
+        for _ in 0..50 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + w);
+            prop_assert!(e.sample(&mut rng) > 0.0);
+            prop_assert!(p.sample(&mut rng) >= w * 0.999_999);
+        }
+    }
+
+    /// SimTime arithmetic: (t + d) - d == t and ordering is consistent.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        use simcore::SimDuration;
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        let t1 = t0 + dur;
+        prop_assert_eq!(t1 - dur, t0);
+        prop_assert_eq!(t1.since(t0), dur);
+        prop_assert!(t1 >= t0);
+    }
+}

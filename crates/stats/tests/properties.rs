@@ -1,0 +1,83 @@
+//! Property tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use stats::{quantile, Histogram, Welford};
+
+proptest! {
+    /// Welford mean/variance match the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var));
+        prop_assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    /// Merging two Welford accumulators equals accumulating everything in
+    /// one.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut a = Welford::new();
+        for &x in &xs { a.add(x); }
+        let mut b = Welford::new();
+        for &y in &ys { b.add(y); }
+        a.merge(&b);
+        let mut all = Welford::new();
+        for &v in xs.iter().chain(ys.iter()) { all.add(v); }
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// Histogram counts are conserved: every sample lands somewhere.
+    #[test]
+    fn histogram_conserves_samples(xs in prop::collection::vec(-10.0f64..10.0, 0..500)) {
+        let mut h = Histogram::new(-5.0, 5.0, 17);
+        for &x in &xs {
+            h.add(x);
+        }
+        let inside: u64 = (0..h.nbins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(inside + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// The empirical CCDF is monotone non-increasing.
+    #[test]
+    fn ccdf_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 50);
+        for &x in &xs {
+            h.add(x);
+        }
+        let mut prev = f64::INFINITY;
+        for t in 0..=100 {
+            let v = h.ccdf(t as f64);
+            prop_assert!(v <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = quantile(&xs, q).unwrap();
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+            prev = v;
+        }
+        prop_assert_eq!(quantile(&xs, 0.0).unwrap(), min);
+        prop_assert_eq!(quantile(&xs, 1.0).unwrap(), max);
+    }
+}

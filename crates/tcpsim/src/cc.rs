@@ -1,0 +1,422 @@
+//! Congestion-control algorithms.
+//!
+//! The window-adjustment rules are factored out of the sender so Reno,
+//! NewReno and a fixed-window control (used to validate the plumbing) share
+//! one sender state machine. All windows are in segments and fractional
+//! (`f64`) so congestion avoidance can add `1/cwnd` per ACK exactly.
+
+/// The mutable window state the algorithms operate on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CcState {
+    /// Congestion window, in segments.
+    pub cwnd: f64,
+    /// Slow-start threshold, in segments.
+    pub ssthresh: f64,
+}
+
+impl CcState {
+    /// Creates the initial state: `cwnd = initial_cwnd`, `ssthresh = ∞`
+    /// (practically: a huge value).
+    pub fn new(initial_cwnd: f64) -> Self {
+        CcState {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+        }
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+/// How the sender should handle ACKs during fast recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryStyle {
+    /// Classic Reno: any new ACK terminates fast recovery.
+    Reno,
+    /// NewReno (RFC 6582): partial ACKs retransmit the next hole and stay
+    /// in recovery until the `recover` point is acknowledged.
+    NewReno,
+    /// No window reaction at all (validation only).
+    None,
+}
+
+/// A congestion-control algorithm.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// How the sender's fast-recovery logic should behave.
+    fn style(&self) -> RecoveryStyle;
+
+    /// Called once per newly acknowledged segment outside recovery.
+    fn on_ack_segment(&mut self, s: &mut CcState);
+
+    /// Called when loss is detected by triple duplicate ACK. `flight` is
+    /// the amount of outstanding data in segments.
+    fn on_fast_retransmit(&mut self, s: &mut CcState, flight: f64);
+
+    /// Called on a retransmission timeout.
+    fn on_timeout(&mut self, s: &mut CcState, flight: f64);
+}
+
+/// TCP Reno: AIMD with slow start.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reno;
+
+/// Shared Reno-family window rules.
+fn reno_ack_segment(s: &mut CcState) {
+    if s.in_slow_start() {
+        s.cwnd += 1.0;
+    } else {
+        s.cwnd += 1.0 / s.cwnd;
+    }
+}
+
+fn halve_on_loss(s: &mut CcState, flight: f64) {
+    s.ssthresh = (flight / 2.0).max(2.0);
+    s.cwnd = s.ssthresh;
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+    fn style(&self) -> RecoveryStyle {
+        RecoveryStyle::Reno
+    }
+    fn on_ack_segment(&mut self, s: &mut CcState) {
+        reno_ack_segment(s);
+    }
+    fn on_fast_retransmit(&mut self, s: &mut CcState, flight: f64) {
+        halve_on_loss(s, flight);
+    }
+    fn on_timeout(&mut self, s: &mut CcState, flight: f64) {
+        s.ssthresh = (flight / 2.0).max(2.0);
+        s.cwnd = 1.0;
+    }
+}
+
+/// TCP NewReno: Reno windows + partial-ACK recovery (RFC 6582).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NewReno;
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+    fn style(&self) -> RecoveryStyle {
+        RecoveryStyle::NewReno
+    }
+    fn on_ack_segment(&mut self, s: &mut CcState) {
+        reno_ack_segment(s);
+    }
+    fn on_fast_retransmit(&mut self, s: &mut CcState, flight: f64) {
+        halve_on_loss(s, flight);
+    }
+    fn on_timeout(&mut self, s: &mut CcState, flight: f64) {
+        s.ssthresh = (flight / 2.0).max(2.0);
+        s.cwnd = 1.0;
+    }
+}
+
+/// A constant window: no reaction to loss. Used to validate queueing
+/// behaviour (e.g. a fixed window of BDP+B keeps the buffer exactly full).
+#[derive(Clone, Copy, Debug)]
+pub struct FixedWindow {
+    /// The constant window, in segments.
+    pub window: f64,
+}
+
+impl FixedWindow {
+    /// Creates a fixed-window "congestion control".
+    pub fn new(window: f64) -> Self {
+        assert!(window >= 1.0);
+        FixedWindow { window }
+    }
+}
+
+impl CongestionControl for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn style(&self) -> RecoveryStyle {
+        RecoveryStyle::None
+    }
+    fn on_ack_segment(&mut self, s: &mut CcState) {
+        s.cwnd = self.window;
+    }
+    fn on_fast_retransmit(&mut self, s: &mut CcState, _flight: f64) {
+        s.cwnd = self.window;
+    }
+    fn on_timeout(&mut self, s: &mut CcState, _flight: f64) {
+        s.cwnd = self.window;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = Reno;
+        let mut s = CcState::new(2.0);
+        // One RTT: every in-flight segment is acked once.
+        for _ in 0..2 {
+            cc.on_ack_segment(&mut s);
+        }
+        assert_eq!(s.cwnd, 4.0);
+        for _ in 0..4 {
+            cc.on_ack_segment(&mut s);
+        }
+        assert_eq!(s.cwnd, 8.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_per_rtt() {
+        let mut cc = Reno;
+        let mut s = CcState {
+            cwnd: 10.0,
+            ssthresh: 5.0,
+        };
+        assert!(!s.in_slow_start());
+        for _ in 0..10 {
+            cc.on_ack_segment(&mut s);
+        }
+        // 10 ACKs at cwnd≈10 ⇒ roughly +1 segment.
+        assert!((s.cwnd - 11.0).abs() < 0.06, "cwnd = {}", s.cwnd);
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut cc = Reno;
+        let mut s = CcState {
+            cwnd: 20.0,
+            ssthresh: f64::INFINITY,
+        };
+        cc.on_fast_retransmit(&mut s, 20.0);
+        assert_eq!(s.cwnd, 10.0);
+        assert_eq!(s.ssthresh, 10.0);
+    }
+
+    #[test]
+    fn timeout_resets_to_one() {
+        let mut cc = Reno;
+        let mut s = CcState {
+            cwnd: 20.0,
+            ssthresh: f64::INFINITY,
+        };
+        cc.on_timeout(&mut s, 20.0);
+        assert_eq!(s.cwnd, 1.0);
+        assert_eq!(s.ssthresh, 10.0);
+        assert!(s.in_slow_start());
+    }
+
+    #[test]
+    fn loss_floor_at_two() {
+        let mut cc = Reno;
+        let mut s = CcState {
+            cwnd: 2.0,
+            ssthresh: 4.0,
+        };
+        cc.on_fast_retransmit(&mut s, 2.0);
+        assert_eq!(s.ssthresh, 2.0);
+        assert_eq!(s.cwnd, 2.0);
+    }
+
+    #[test]
+    fn newreno_same_windows_different_style() {
+        let mut a = Reno;
+        let mut b = NewReno;
+        let mut sa = CcState::new(2.0);
+        let mut sb = CcState::new(2.0);
+        for _ in 0..100 {
+            a.on_ack_segment(&mut sa);
+            b.on_ack_segment(&mut sb);
+        }
+        assert_eq!(sa, sb);
+        assert_eq!(a.style(), RecoveryStyle::Reno);
+        assert_eq!(b.style(), RecoveryStyle::NewReno);
+    }
+
+    #[test]
+    fn fixed_window_never_moves() {
+        let mut cc = FixedWindow::new(16.0);
+        let mut s = CcState::new(16.0);
+        cc.on_ack_segment(&mut s);
+        cc.on_fast_retransmit(&mut s, 16.0);
+        cc.on_timeout(&mut s, 16.0);
+        assert_eq!(s.cwnd, 16.0);
+    }
+}
+
+/// TCP CUBIC (RFC 8312) window growth — an *extension* beyond the paper:
+/// the dominant congestion control of the 2010s. Including it lets the
+/// ablation benches ask whether the `BDP/√n` sizing survives a different
+/// window-growth law (its multiplicative-decrease factor is 0.7 rather
+/// than Reno's 0.5, so sawtooth excursions are shallower).
+///
+/// This implementation uses the standard cubic window function
+/// `W(t) = C·(t − K)³ + W_max` with `C = 0.4`, `β = 0.7`, plus the
+/// TCP-friendly region of RFC 8312 §4.2. Time is supplied by the sender
+/// via [`CongestionControl::on_tick`]-style calls folded into
+/// `on_ack_segment`; since the sender calls us once per ACK, we
+/// approximate elapsed time by accumulating the connection's smoothed
+/// per-ACK interval — adequate for the buffer-sizing experiments, which
+/// care about the *shape* of the decrease, not microsecond growth timing.
+#[derive(Clone, Copy, Debug)]
+pub struct Cubic {
+    /// Window before the last reduction.
+    w_max: f64,
+    /// Scaled time since the last reduction, in "ACK ticks" converted to
+    /// seconds via `tick`.
+    t: f64,
+    /// Seconds represented by one ACK arrival at the current window
+    /// (≈ RTT / cwnd); updated by the sender through `set_tick`.
+    tick: f64,
+    /// TCP-friendly Reno-equivalent window estimate.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// RFC 8312 multiplicative-decrease factor.
+    pub const BETA: f64 = 0.7;
+    /// RFC 8312 cubic scaling constant.
+    pub const C: f64 = 0.4;
+
+    /// Creates CUBIC state. `tick_seconds` is the initial estimate of the
+    /// time between ACKs (RTT / cwnd); the sender refreshes it via
+    /// [`Cubic::set_tick`].
+    pub fn new(tick_seconds: f64) -> Self {
+        Cubic {
+            w_max: 0.0,
+            t: 0.0,
+            tick: tick_seconds.max(1e-6),
+            w_est: 0.0,
+        }
+    }
+
+    /// Updates the per-ACK time estimate (RTT / cwnd).
+    pub fn set_tick(&mut self, tick_seconds: f64) {
+        self.tick = tick_seconds.max(1e-6);
+    }
+
+    fn k(&self) -> f64 {
+        // K = cbrt(W_max * (1 - beta) / C)
+        (self.w_max * (1.0 - Self::BETA) / Self::C).cbrt()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+    fn style(&self) -> RecoveryStyle {
+        RecoveryStyle::NewReno
+    }
+    fn on_ack_segment(&mut self, s: &mut CcState) {
+        if s.in_slow_start() {
+            s.cwnd += 1.0;
+            return;
+        }
+        self.t += self.tick;
+        // TCP-friendly region estimate (Reno with beta 0.7 AIMD).
+        self.w_est += (3.0 * (1.0 - Self::BETA) / (1.0 + Self::BETA)) / s.cwnd.max(1.0);
+        let target = Self::C * (self.t - self.k()).powi(3) + self.w_max;
+        let next = target.max(self.w_est).max(s.cwnd);
+        // Grow at most ~1.5x per ACK worth of cubic target approach
+        // (RFC 8312 grows by (target - cwnd)/cwnd per ACK).
+        s.cwnd += ((next - s.cwnd) / s.cwnd.max(1.0)).clamp(0.0, 1.0);
+    }
+    fn on_fast_retransmit(&mut self, s: &mut CcState, flight: f64) {
+        self.w_max = flight.max(s.cwnd);
+        self.t = 0.0;
+        self.w_est = flight * Self::BETA;
+        s.ssthresh = (flight * Self::BETA).max(2.0);
+        s.cwnd = s.ssthresh;
+    }
+    fn on_timeout(&mut self, s: &mut CcState, flight: f64) {
+        self.w_max = flight.max(s.cwnd);
+        self.t = 0.0;
+        self.w_est = flight * Self::BETA;
+        s.ssthresh = (flight * Self::BETA).max(2.0);
+        s.cwnd = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod cubic_tests {
+    use super::*;
+
+    #[test]
+    fn cubic_decrease_is_gentler_than_reno() {
+        let mut cubic = Cubic::new(0.01);
+        let mut reno = Reno;
+        let mut sc = CcState {
+            cwnd: 100.0,
+            ssthresh: f64::INFINITY,
+        };
+        let mut sr = sc;
+        cubic.on_fast_retransmit(&mut sc, 100.0);
+        reno.on_fast_retransmit(&mut sr, 100.0);
+        assert!((sc.cwnd - 70.0).abs() < 1e-9);
+        assert!((sr.cwnd - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_slow_start_matches_reno() {
+        let mut cubic = Cubic::new(0.01);
+        let mut s = CcState::new(2.0);
+        for _ in 0..4 {
+            cubic.on_ack_segment(&mut s);
+        }
+        assert_eq!(s.cwnd, 6.0);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max() {
+        let mut cubic = Cubic::new(0.005);
+        let mut s = CcState {
+            cwnd: 100.0,
+            ssthresh: f64::INFINITY,
+        };
+        cubic.on_fast_retransmit(&mut s, 100.0);
+        let after_drop = s.cwnd;
+        // Feed ACKs; window should climb back toward 100 (concave region).
+        for _ in 0..2000 {
+            cubic.on_ack_segment(&mut s);
+        }
+        assert!(s.cwnd > after_drop + 10.0, "cwnd = {}", s.cwnd);
+        assert!(s.cwnd < 400.0, "runaway growth: {}", s.cwnd);
+    }
+
+    #[test]
+    fn cubic_growth_monotone_nonnegative() {
+        let mut cubic = Cubic::new(0.002);
+        let mut s = CcState {
+            cwnd: 50.0,
+            ssthresh: 10.0,
+        };
+        cubic.on_fast_retransmit(&mut s, 50.0);
+        let mut prev = s.cwnd;
+        for _ in 0..500 {
+            cubic.on_ack_segment(&mut s);
+            assert!(s.cwnd >= prev - 1e-12);
+            prev = s.cwnd;
+        }
+    }
+
+    #[test]
+    fn cubic_timeout_resets_to_one() {
+        let mut cubic = Cubic::new(0.01);
+        let mut s = CcState {
+            cwnd: 40.0,
+            ssthresh: f64::INFINITY,
+        };
+        cubic.on_timeout(&mut s, 40.0);
+        assert_eq!(s.cwnd, 1.0);
+        assert!((s.ssthresh - 28.0).abs() < 1e-9);
+    }
+}

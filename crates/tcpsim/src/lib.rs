@@ -1,0 +1,46 @@
+//! # tcpsim — TCP endpoint state machines
+//!
+//! A from-scratch TCP implementation for the *Sizing Router Buffers*
+//! (SIGCOMM 2004) reproduction, modeled on ns-2's `Agent/TCP` +
+//! `Agent/TCPSink` pair (the simulator the paper itself used):
+//!
+//! * **Segment-counted**: windows, sequence numbers and buffers are counted
+//!   in MSS-sized segments ("*we will count window size in packets for
+//!   simplicity of presentation*" — §2). Each data segment is one wire
+//!   packet of `data_size` bytes; ACKs are 40 bytes.
+//! * **Congestion control**: slow start, congestion avoidance, fast
+//!   retransmit and fast recovery, with [`cc::Reno`] and [`cc::NewReno`]
+//!   flavors plus a [`cc::FixedWindow`] used for validation. Timeout
+//!   recovery with exponential RTO backoff (Jacobson/Karn, [`rtt`]).
+//! * **Pure state machines**: [`sender::TcpSender`] and
+//!   [`receiver::TcpReceiver`] know nothing about the network — they consume
+//!   events and return actions, so every corner case is unit-testable
+//!   without a simulator. [`agent::TcpSource`] / [`agent::TcpSink`] adapt
+//!   them to `netsim`'s [`Agent`](netsim::Agent) API.
+//!
+//! What is deliberately *not* modeled (as in ns-2 and the paper): the 3-way
+//! handshake, byte-granularity sequence space, SACK, ECN, and window
+//! scaling's interaction with rwnd (the receiver window is a constant
+//! segment cap, which is exactly the paper's "maximum window size of TCP"
+//! in §4).
+
+
+#![warn(missing_docs)]
+pub mod agent;
+pub mod cc;
+pub mod config;
+pub mod machine;
+pub mod receiver;
+pub mod rtt;
+pub mod sack;
+pub mod sender;
+pub mod seq;
+
+pub use agent::{FlowRecord, TcpSink, TcpSource};
+pub use cc::{CcState, CongestionControl, Cubic, FixedWindow, NewReno, Reno};
+pub use config::TcpConfig;
+pub use machine::{AckInfo, SenderMachine};
+pub use receiver::TcpReceiver;
+pub use sack::SackSender;
+pub use rtt::RttEstimator;
+pub use sender::{SenderState, TcpAction, TcpSender};

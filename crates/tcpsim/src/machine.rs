@@ -1,0 +1,134 @@
+//! The sender-machine abstraction: one interface over the Reno-family
+//! sender ([`TcpSender`](crate::sender::TcpSender)) and the SACK sender
+//! ([`SackSender`](crate::sack::SackSender)), so agents and workloads can
+//! hold either.
+
+use crate::receiver::SackRanges;
+use crate::rtt::RttEstimator;
+use crate::sender::{SenderStats, TcpAction, TcpSender};
+use simcore::SimTime;
+
+/// Everything an incoming acknowledgement tells the sender.
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo {
+    /// Cumulative ACK (unwrapped segment number).
+    pub ack: u64,
+    /// Echoed send timestamp, for RTT sampling.
+    pub ts_echo: SimTime,
+    /// SACK blocks (empty for non-SACK receivers).
+    pub sack: SackRanges,
+}
+
+impl AckInfo {
+    /// A plain cumulative ACK with no SACK information.
+    pub fn plain(ack: u64, ts_echo: SimTime) -> Self {
+        AckInfo {
+            ack,
+            ts_echo,
+            sack: SackRanges::default(),
+        }
+    }
+}
+
+/// A TCP sender state machine: consumes ACKs and timer expiries, produces
+/// [`TcpAction`]s.
+pub trait SenderMachine: Send {
+    /// Upcast for downcasting to a concrete machine (diagnostics/tests).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Begins transmission.
+    fn start(&mut self, now: SimTime) -> Vec<TcpAction>;
+    /// Processes an acknowledgement.
+    fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction>;
+    /// Processes a retransmission-timeout expiry (stale generations are
+    /// ignored).
+    fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction>;
+
+    /// Congestion window (segments).
+    fn cwnd(&self) -> f64;
+    /// Slow-start threshold (segments).
+    fn ssthresh(&self) -> f64;
+    /// Outstanding segments.
+    fn flight(&self) -> u64;
+    /// Oldest unacknowledged segment.
+    fn snd_una(&self) -> u64;
+    /// Next new segment.
+    fn next_seq(&self) -> u64;
+    /// True once a finite flow is fully acknowledged.
+    fn is_completed(&self) -> bool;
+    /// Counters.
+    fn stats(&self) -> SenderStats;
+    /// RTT estimator (diagnostics).
+    fn rtt(&self) -> &RttEstimator;
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+impl SenderMachine for TcpSender {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn start(&mut self, now: SimTime) -> Vec<TcpAction> {
+        TcpSender::start(self, now)
+    }
+    fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction> {
+        // The Reno-family sender ignores SACK blocks.
+        TcpSender::on_ack(self, now, info.ack, info.ts_echo)
+    }
+    fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction> {
+        TcpSender::on_rto(self, now, gen)
+    }
+    fn cwnd(&self) -> f64 {
+        TcpSender::cwnd(self)
+    }
+    fn ssthresh(&self) -> f64 {
+        TcpSender::ssthresh(self)
+    }
+    fn flight(&self) -> u64 {
+        TcpSender::flight(self)
+    }
+    fn snd_una(&self) -> u64 {
+        TcpSender::snd_una(self)
+    }
+    fn next_seq(&self) -> u64 {
+        TcpSender::next_seq(self)
+    }
+    fn is_completed(&self) -> bool {
+        TcpSender::is_completed(self)
+    }
+    fn stats(&self) -> SenderStats {
+        TcpSender::stats(self)
+    }
+    fn rtt(&self) -> &RttEstimator {
+        TcpSender::rtt(self)
+    }
+    fn name(&self) -> &'static str {
+        self.cc_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Reno;
+    use crate::TcpConfig;
+
+    #[test]
+    fn trait_object_drives_reno_sender() {
+        let mut m: Box<dyn SenderMachine> = Box::new(TcpSender::new(
+            TcpConfig::default(),
+            Box::new(Reno),
+            Some(4),
+        ));
+        let a = m.start(SimTime::ZERO);
+        assert!(!a.is_empty());
+        assert_eq!(m.name(), "reno");
+        let a = m.on_ack(
+            SimTime::from_millis(50),
+            &AckInfo::plain(2, SimTime::ZERO),
+        );
+        assert!(!a.is_empty());
+        m.on_ack(SimTime::from_millis(90), &AckInfo::plain(4, SimTime::ZERO));
+        assert!(m.is_completed());
+    }
+}

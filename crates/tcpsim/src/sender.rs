@@ -1,0 +1,836 @@
+//! The TCP sender state machine.
+//!
+//! [`TcpSender`] is a pure state machine: feed it ACKs and timer expiries,
+//! get back [`TcpAction`]s (segments to transmit, timers to arm, completion
+//! notice). It implements the loss-recovery behaviour of ns-2's Reno TCP,
+//! which is the sender the paper's simulations use:
+//!
+//! * slow start / congestion avoidance driven by a pluggable
+//!   [`CongestionControl`];
+//! * fast retransmit on the third duplicate ACK, with window inflation
+//!   during fast recovery;
+//! * classic-Reno recovery exit on any new ACK, or NewReno partial-ACK
+//!   retransmission, depending on the algorithm's
+//!   [`RecoveryStyle`](crate::cc::RecoveryStyle);
+//! * go-back-N retransmission after a timeout (ns-2 semantics: `t_seqno_`
+//!   falls back to the highest ACK), with exponential RTO backoff;
+//! * RTT sampling from timestamp echoes, so Karn ambiguity never arises.
+
+use crate::cc::{CcState, CongestionControl, RecoveryStyle};
+use crate::config::TcpConfig;
+use crate::rtt::RttEstimator;
+use simcore::{SimDuration, SimTime};
+
+/// What the sender wants done, in order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TcpAction {
+    /// Transmit the data segment with this (unwrapped) sequence number.
+    Send {
+        /// Unwrapped segment number.
+        seq: u64,
+        /// True if this segment was transmitted before.
+        retransmit: bool,
+        /// True if this is the flow's final segment.
+        fin: bool,
+    },
+    /// (Re-)arm the retransmission timer for `delay`; older generations are
+    /// stale and must be ignored when they fire.
+    ArmRto {
+        /// Timer delay.
+        delay: SimDuration,
+        /// Generation to match in [`TcpSender::on_rto`].
+        gen: u64,
+    },
+    /// Every segment of a finite flow has been acknowledged.
+    Completed,
+}
+
+/// Coarse sender state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SenderState {
+    /// Normal operation (slow start or congestion avoidance).
+    Open,
+    /// Fast recovery after a triple duplicate ACK.
+    FastRecovery,
+}
+
+/// Sender-side counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Data segments handed to the network (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// ACKs processed.
+    pub acks: u64,
+    /// Duplicate ACKs seen.
+    pub dupacks: u64,
+}
+
+/// The TCP sender.
+#[derive(Debug)]
+pub struct TcpSender {
+    cfg: TcpConfig,
+    cc: Box<dyn CongestionControl>,
+    ccs: CcState,
+    /// Total flow length in segments; `None` = infinite (long-lived) flow.
+    flow_size: Option<u64>,
+    /// Next never-before-sent segment.
+    next_seq: u64,
+    /// Oldest unacknowledged segment.
+    snd_una: u64,
+    /// Highest `next_seq` at the moment recovery was entered.
+    high_water: u64,
+    dupacks: u32,
+    /// Window inflation during fast recovery (one segment per dup ACK).
+    inflation: f64,
+    state: SenderState,
+    rtt: RttEstimator,
+    rto_gen: u64,
+    started: bool,
+    completed: bool,
+    stats: SenderStats,
+    /// Test-only log of (seq, retransmit) for every Send action.
+    #[cfg(any(test, feature = "send-log"))]
+    pub send_log: Vec<(u64, bool)>,
+}
+
+impl TcpSender {
+    /// Creates a sender for a flow of `flow_size` segments (`None` =
+    /// infinite) using the given congestion control.
+    pub fn new(cfg: TcpConfig, cc: Box<dyn CongestionControl>, flow_size: Option<u64>) -> Self {
+        if let Some(n) = flow_size {
+            assert!(n > 0, "flow must have at least one segment");
+        }
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto);
+        TcpSender {
+            ccs: CcState::new(cfg.initial_cwnd),
+            cfg,
+            cc,
+            flow_size,
+            next_seq: 0,
+            snd_una: 0,
+            high_water: 0,
+            dupacks: 0,
+            inflation: 0.0,
+            state: SenderState::Open,
+            rtt,
+            rto_gen: 0,
+            started: false,
+            completed: false,
+            stats: SenderStats::default(),
+            #[cfg(any(test, feature = "send-log"))]
+            send_log: Vec::new(),
+        }
+    }
+
+    /// Begins transmission: emits the initial window and arms the RTO.
+    pub fn start(&mut self, _now: SimTime) -> Vec<TcpAction> {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        let mut out = Vec::new();
+        self.fill_window(&mut out);
+        self.arm_rto(&mut out);
+        out
+    }
+
+    /// Effective send window in whole segments: `min(cwnd + inflation,
+    /// max_window)`.
+    pub fn window(&self) -> u64 {
+        let w = (self.ccs.cwnd + self.inflation).min(self.cfg.max_window as f64);
+        w.floor().max(1.0) as u64
+    }
+
+    /// Outstanding (sent, unacked) segments.
+    pub fn flight(&self) -> u64 {
+        self.next_seq - self.snd_una
+    }
+
+    /// The congestion window (segments, fractional).
+    pub fn cwnd(&self) -> f64 {
+        self.ccs.cwnd
+    }
+
+    /// The slow-start threshold (segments).
+    pub fn ssthresh(&self) -> f64 {
+        self.ccs.ssthresh
+    }
+
+    /// Current coarse state.
+    pub fn state(&self) -> SenderState {
+        self.state
+    }
+
+    /// True once every segment of a finite flow is acknowledged.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Sender counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Oldest unacknowledged segment.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Next new segment to be sent.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The RTT estimator (for diagnostics).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// The congestion-control algorithm name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    fn is_fin(&self, seq: u64) -> bool {
+        self.flow_size.map(|n| seq + 1 == n).unwrap_or(false)
+    }
+
+    /// Sends as much new data as the window permits.
+    fn fill_window(&mut self, out: &mut Vec<TcpAction>) {
+        let limit = self.flow_size.unwrap_or(u64::MAX);
+        while self.flight() < self.window() && self.next_seq < limit {
+            let seq = self.next_seq;
+            // A segment below high_water was transmitted before the loss
+            // event that set high_water (go-back-N after timeout).
+            let retransmit = seq < self.high_water;
+            out.push(TcpAction::Send {
+                seq,
+                retransmit,
+                fin: self.is_fin(seq),
+            });
+            #[cfg(any(test, feature = "send-log"))]
+            self.send_log.push((seq, retransmit));
+            self.stats.segments_sent += 1;
+            if retransmit {
+                self.stats.retransmits += 1;
+            }
+            self.next_seq += 1;
+        }
+    }
+
+    fn arm_rto(&mut self, out: &mut Vec<TcpAction>) {
+        if self.flight() == 0 || self.completed {
+            // Nothing outstanding: let any pending timer go stale.
+            self.rto_gen += 1;
+            return;
+        }
+        self.rto_gen += 1;
+        out.push(TcpAction::ArmRto {
+            delay: self.rtt.rto(),
+            gen: self.rto_gen,
+        });
+    }
+
+    /// Processes a cumulative ACK. `ts_echo` is the send timestamp echoed by
+    /// the receiver (for RTT sampling).
+    pub fn on_ack(&mut self, now: SimTime, ack: u64, ts_echo: SimTime) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        if self.completed || !self.started {
+            return out;
+        }
+        // An ACK for data we never sent is bogus (e.g. a stale ACK from a
+        // previous connection on a reused flow id): drop it, as real TCP
+        // drops segments outside the window. After a timeout rewind,
+        // next_seq sits below data that is still legitimately in flight, so
+        // the bound is the highest sequence ever sent.
+        if ack > self.next_seq.max(self.high_water) {
+            return out;
+        }
+        self.stats.acks += 1;
+
+        // Timestamp echo gives an unambiguous RTT sample on every ACK.
+        if ts_echo <= now {
+            self.rtt.sample(now.since(ts_echo));
+        }
+
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            // next_seq can only fall behind snd_una after a timeout reset
+            // (go-back-N) when an original in-flight segment is acked.
+            if self.next_seq < self.snd_una {
+                self.next_seq = self.snd_una;
+            }
+
+            match self.state {
+                SenderState::FastRecovery => {
+                    let full = ack >= self.high_water;
+                    let newreno = self.cc.style() == RecoveryStyle::NewReno;
+                    if full || !newreno {
+                        // Exit recovery: deflate to ssthresh.
+                        self.state = SenderState::Open;
+                        self.inflation = 0.0;
+                        self.dupacks = 0;
+                        self.ccs.cwnd = self.ccs.cwnd.min(self.ccs.ssthresh);
+                    } else {
+                        // NewReno partial ACK: retransmit the next hole,
+                        // deflate inflation by the data acked, stay in
+                        // recovery.
+                        self.inflation = (self.inflation - newly as f64).max(0.0) + 1.0;
+                        out.push(TcpAction::Send {
+                            seq: self.snd_una,
+                            retransmit: true,
+                            fin: self.is_fin(self.snd_una),
+                        });
+                        #[cfg(any(test, feature = "send-log"))]
+                        self.send_log.push((self.snd_una, true));
+                        self.stats.segments_sent += 1;
+                        self.stats.retransmits += 1;
+                    }
+                }
+                SenderState::Open => {
+                    self.dupacks = 0;
+                    for _ in 0..newly {
+                        self.cc.on_ack_segment(&mut self.ccs);
+                    }
+                    // rwnd clamp (ns-2 does the same): there is no point
+                    // growing cwnd beyond what the receiver window allows.
+                    let cap = self.cfg.max_window as f64;
+                    if self.ccs.cwnd > cap {
+                        self.ccs.cwnd = cap;
+                    }
+                }
+            }
+
+            // Completion check before sending more.
+            if let Some(n) = self.flow_size {
+                if self.snd_una >= n {
+                    self.completed = true;
+                    self.rto_gen += 1; // kill pending timer
+                    out.push(TcpAction::Completed);
+                    return out;
+                }
+            }
+
+            self.fill_window(&mut out);
+            self.arm_rto(&mut out);
+        } else if ack == self.snd_una && self.flight() > 0 {
+            // Duplicate ACK.
+            self.stats.dupacks += 1;
+            match self.state {
+                SenderState::Open => {
+                    self.dupacks += 1;
+                    if self.dupacks == self.cfg.dupack_threshold {
+                        // Fast retransmit + enter fast recovery. high_water
+                        // only moves forward: after a timeout rewind,
+                        // next_seq may sit below data that was already sent
+                        // once, and those segments must stay classified as
+                        // retransmissions (RFC 6582 also keeps `recover` at
+                        // the highest sequence ever sent).
+                        self.stats.fast_retransmits += 1;
+                        self.high_water = self.high_water.max(self.next_seq);
+                        let flight = self.flight() as f64;
+                        self.cc.on_fast_retransmit(&mut self.ccs, flight);
+                        self.inflation = self.cfg.dupack_threshold as f64;
+                        self.state = SenderState::FastRecovery;
+                        out.push(TcpAction::Send {
+                            seq: self.snd_una,
+                            retransmit: true,
+                            fin: self.is_fin(self.snd_una),
+                        });
+                        self.stats.segments_sent += 1;
+                        self.stats.retransmits += 1;
+                        self.arm_rto(&mut out);
+                    }
+                }
+                SenderState::FastRecovery => {
+                    // Window inflation lets new data trickle out.
+                    self.inflation += 1.0;
+                    self.fill_window(&mut out);
+                }
+            }
+        }
+        // Old ACK (< snd_una): ignore.
+        out
+    }
+
+    /// Processes a retransmission-timeout expiry for timer generation `gen`.
+    /// Stale generations are ignored.
+    pub fn on_rto(&mut self, _now: SimTime, gen: u64) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        if gen != self.rto_gen || self.completed || !self.started || self.flight() == 0 {
+            return out;
+        }
+        self.stats.timeouts += 1;
+        self.rtt.backoff();
+        let flight = self.flight() as f64;
+        self.cc.on_timeout(&mut self.ccs, flight);
+        self.state = SenderState::Open;
+        self.dupacks = 0;
+        self.inflation = 0.0;
+        // Go-back-N (ns-2 semantics): rewind to the oldest unacked segment;
+        // everything beyond it will be resent as the window re-opens.
+        self.high_water = self.high_water.max(self.next_seq);
+        self.next_seq = self.snd_una;
+        self.fill_window(&mut out);
+        self.arm_rto(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{FixedWindow, NewReno, Reno};
+
+    fn sender(flow: Option<u64>) -> TcpSender {
+        TcpSender::new(TcpConfig::default(), Box::new(Reno), flow)
+    }
+
+    fn sends(actions: &[TcpAction]) -> Vec<u64> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                TcpAction::Send { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn start_sends_initial_window() {
+        let mut s = sender(None);
+        let a = s.start(t(0));
+        assert_eq!(sends(&a), vec![0, 1]); // initial cwnd = 2
+        assert!(a.iter().any(|x| matches!(x, TcpAction::ArmRto { .. })));
+        assert_eq!(s.flight(), 2);
+    }
+
+    #[test]
+    fn slow_start_growth() {
+        let mut s = sender(None);
+        s.start(t(0));
+        // ACK both initial segments: cwnd 2 -> 4, two new sends each.
+        let a = s.on_ack(t(100), 1, t(0));
+        assert_eq!(sends(&a), vec![2, 3]);
+        let a = s.on_ack(t(101), 2, t(1));
+        assert_eq!(sends(&a), vec![4, 5]);
+        assert_eq!(s.cwnd(), 4.0);
+    }
+
+    #[test]
+    fn cumulative_ack_covers_multiple_segments() {
+        let mut s = sender(None);
+        s.start(t(0));
+        let a = s.on_ack(t(100), 2, t(0)); // acks both at once
+        assert_eq!(s.snd_una(), 2);
+        assert_eq!(s.cwnd(), 4.0);
+        assert_eq!(sends(&a).len(), 4);
+    }
+
+    #[test]
+    fn fast_retransmit_on_third_dupack() {
+        let mut s = sender(None);
+        s.start(t(0));
+        // Grow the window a little.
+        s.on_ack(t(10), 2, t(0)); // cwnd 4, sent 2..6
+        s.on_ack(t(20), 4, t(10)); // cwnd 6, sent 6..10
+        assert_eq!(s.cwnd(), 6.0);
+        assert_eq!(s.next_seq(), 10);
+        // Segment 4 lost: three dup ACKs for 4.
+        assert!(sends(&s.on_ack(t(30), 4, t(20))).is_empty());
+        assert!(sends(&s.on_ack(t(31), 4, t(20))).is_empty());
+        let a = s.on_ack(t(32), 4, t(20));
+        // Third dupack: retransmit 4, halve window.
+        assert_eq!(sends(&a), vec![4]);
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        assert_eq!(s.ssthresh(), 3.0); // flight was 6
+        assert_eq!(s.stats().fast_retransmits, 1);
+        assert_eq!(s.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn recovery_inflation_sends_new_data() {
+        let mut s = sender(None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10)); // cwnd 6, flight 6 (segs 4..10)
+        for i in 0..3 {
+            s.on_ack(t(30 + i), 4, t(20));
+        }
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        // More dupacks inflate the window: cwnd(3) + inflation grows.
+        let mut new_sent = 0;
+        for i in 0..6 {
+            new_sent += sends(&s.on_ack(t(40 + i), 4, t(20))).len();
+        }
+        assert!(new_sent > 0, "inflation should release new segments");
+    }
+
+    #[test]
+    fn reno_exits_recovery_on_new_ack() {
+        let mut s = sender(None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10));
+        for i in 0..3 {
+            s.on_ack(t(30 + i), 4, t(20));
+        }
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        let a = s.on_ack(t(50), 10, t(30));
+        assert_eq!(s.state(), SenderState::Open);
+        assert_eq!(s.cwnd(), 3.0); // deflated to ssthresh
+        assert!(!sends(&a).is_empty()); // window reopens
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = TcpSender::new(TcpConfig::default(), Box::new(NewReno), None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10)); // flight = 6 (4..10), cwnd 6
+        for i in 0..3 {
+            s.on_ack(t(30 + i), 4, t(20));
+        }
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        assert_eq!(s.high_water, 10);
+        // Partial ACK to 6 (<10): retransmit 6, stay in recovery. The
+        // deflated-then-reinflated window may also release new data after
+        // the retransmission (RFC 6582 §3.2 step 5 permits this).
+        let a = s.on_ack(t(50), 6, t(30));
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        assert_eq!(sends(&a)[0], 6);
+        // Full ACK to 10: exit.
+        let _ = s.on_ack(t(60), 10, t(50));
+        assert_eq!(s.state(), SenderState::Open);
+    }
+
+    #[test]
+    fn timeout_goes_back_n() {
+        let mut s = sender(None);
+        let a0 = s.start(t(0));
+        let gen = a0
+            .iter()
+            .find_map(|a| match a {
+                TcpAction::ArmRto { gen, .. } => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        // No ACKs arrive; the timer fires.
+        let a = s.on_rto(t(1000), gen);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(sends(&a), vec![0]); // go-back-N restart
+        let retx = a
+            .iter()
+            .any(|x| matches!(x, TcpAction::Send { retransmit: true, .. }));
+        assert!(retx);
+        assert_eq!(s.stats().timeouts, 1);
+        assert!(s.rtt().backoff_count() > 0);
+    }
+
+    #[test]
+    fn stale_rto_generation_ignored() {
+        let mut s = sender(None);
+        s.start(t(0));
+        // ACK re-arms the timer with a new generation.
+        let a = s.on_ack(t(100), 1, t(0));
+        let new_gen = a
+            .iter()
+            .find_map(|x| match x {
+                TcpAction::ArmRto { gen, .. } => Some(*gen),
+                _ => None,
+            })
+            .unwrap();
+        // The original timer (gen new_gen - 1) fires late: ignored.
+        assert!(s.on_rto(t(1000), new_gen - 1).is_empty());
+        assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn finite_flow_completes() {
+        let mut s = sender(Some(3));
+        let a = s.start(t(0));
+        assert_eq!(sends(&a), vec![0, 1]);
+        let a = s.on_ack(t(10), 1, t(0));
+        // Window grows, segment 2 (the FIN) goes out.
+        assert!(a.iter().any(|x| matches!(
+            x,
+            TcpAction::Send {
+                seq: 2,
+                fin: true,
+                ..
+            }
+        )));
+        s.on_ack(t(20), 2, t(10));
+        let a = s.on_ack(t(30), 3, t(20));
+        assert!(a.contains(&TcpAction::Completed));
+        assert!(s.is_completed());
+        // Further input is ignored.
+        assert!(s.on_ack(t(40), 3, t(30)).is_empty());
+    }
+
+    #[test]
+    fn single_segment_flow() {
+        let mut s = sender(Some(1));
+        let a = s.start(t(0));
+        assert_eq!(
+            sends(&a),
+            vec![0],
+            "window 2 but only 1 segment available"
+        );
+        assert!(a.iter().any(|x| matches!(
+            x,
+            TcpAction::Send { fin: true, .. }
+        )));
+        let a = s.on_ack(t(10), 1, t(0));
+        assert!(a.contains(&TcpAction::Completed));
+    }
+
+    #[test]
+    fn receiver_window_caps_flight() {
+        let cfg = TcpConfig::default().with_max_window(4);
+        let mut s = TcpSender::new(cfg, Box::new(Reno), None);
+        s.start(t(0));
+        let mut acked = 0u64;
+        for i in 0..20 {
+            acked += 1;
+            s.on_ack(t(10 * (i + 1)), acked, t(10 * i));
+            assert!(s.flight() <= 4, "flight = {}", s.flight());
+        }
+        assert!(s.cwnd() <= 4.0);
+    }
+
+    #[test]
+    fn fixed_window_never_reacts() {
+        let mut s = TcpSender::new(
+            TcpConfig::default(),
+            Box::new(FixedWindow::new(8.0)),
+            None,
+        );
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        assert_eq!(s.cwnd(), 8.0);
+        // Trigger a timeout.
+        let gen = s.rto_gen;
+        s.on_rto(t(5000), gen);
+        assert_eq!(s.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn rtt_sampled_from_ts_echo() {
+        let mut s = sender(None);
+        s.start(t(0));
+        s.on_ack(t(80), 1, t(0));
+        let srtt = s.rtt().srtt().unwrap();
+        assert_eq!(srtt, SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn bogus_future_ack_ignored() {
+        let mut s = sender(None);
+        s.start(t(0));
+        // ACK for data never sent (stale ACK from a reused flow id).
+        let a = s.on_ack(t(10), 1000, t(0));
+        assert!(a.is_empty());
+        assert_eq!(s.snd_una(), 0);
+        assert_eq!(s.stats().acks, 0);
+    }
+
+    #[test]
+    fn old_ack_is_ignored() {
+        let mut s = sender(None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        let before = s.stats();
+        let snd_una = s.snd_una();
+        let a = s.on_ack(t(20), 1, t(10)); // stale cumulative ack
+        assert!(sends(&a).is_empty());
+        assert_eq!(s.snd_una(), snd_una);
+        assert_eq!(s.stats().dupacks, before.dupacks);
+    }
+
+    #[test]
+    fn dupacks_without_outstanding_data_ignored() {
+        let mut s = sender(Some(2));
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0)); // completes
+        assert!(s.is_completed());
+    }
+
+    #[test]
+    fn congestion_avoidance_after_recovery() {
+        let mut s = sender(None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10));
+        for i in 0..3 {
+            s.on_ack(t(30 + i), 4, t(20));
+        }
+        s.on_ack(t(50), 10, t(30)); // exit recovery, cwnd = ssthresh = 3
+        assert_eq!(s.cwnd(), 3.0);
+        assert!(!s.ccs.in_slow_start());
+        // Next RTT of ACKs: congestion avoidance, +1/cwnd each.
+        let cwnd0 = s.cwnd();
+        s.on_ack(t(60), 11, t(50));
+        assert!(s.cwnd() > cwnd0 && s.cwnd() < cwnd0 + 1.0);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::cc::{NewReno, Reno};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn sends(actions: &[TcpAction]) -> Vec<u64> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                TcpAction::Send { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Grow a sender to a known state: cwnd 6, segments 0..10 in flight
+    /// acked through 4.
+    fn grown(cc: Box<dyn CongestionControl>) -> TcpSender {
+        let mut s = TcpSender::new(TcpConfig::default(), cc, None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10));
+        s
+    }
+
+    #[test]
+    fn cwnd_never_below_one() {
+        let mut s = grown(Box::new(Reno));
+        // Repeated timeouts with backoff.
+        for i in 0..10 {
+            let gen = s.rto_gen;
+            s.on_rto(t(1000 * (i + 1)), gen);
+            assert!(s.cwnd() >= 1.0);
+            assert!(s.window() >= 1);
+        }
+    }
+
+    #[test]
+    fn newreno_multi_loss_recovers_without_timeout() {
+        // Segments 4 and 6 lost out of 4..10 in flight. NewReno should
+        // retransmit both via partial ACKs within one recovery episode.
+        let mut s = grown(Box::new(NewReno));
+        assert_eq!(s.next_seq(), 10);
+        // Dupacks for 4 (caused by 5, 7, 8, 9 arriving; 6 also lost).
+        s.on_ack(t(30), 4, t(20));
+        s.on_ack(t(31), 4, t(20));
+        let a = s.on_ack(t(32), 4, t(20));
+        assert_eq!(sends(&a)[0], 4, "fast retransmit of first hole");
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        // Retransmitted 4 arrives; cumulative ack moves to 6 (5 was
+        // received earlier): partial ack -> retransmit 6 immediately.
+        let a = s.on_ack(t(50), 6, t(32));
+        assert!(sends(&a).contains(&6), "partial ack retransmits next hole");
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        // Retransmitted 6 arrives; everything through 10 is acked: full ack.
+        let _ = s.on_ack(t(70), 10, t(50));
+        assert_eq!(s.state(), SenderState::Open);
+        assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn reno_multi_loss_needs_second_fast_retransmit_or_timeout() {
+        // Same double loss under classic Reno: the first new ACK ends
+        // recovery; the second hole needs its own dupacks or an RTO.
+        let mut s = grown(Box::new(Reno));
+        s.on_ack(t(30), 4, t(20));
+        s.on_ack(t(31), 4, t(20));
+        s.on_ack(t(32), 4, t(20));
+        assert_eq!(s.state(), SenderState::FastRecovery);
+        let _ = s.on_ack(t(50), 6, t(32)); // partial new ACK exits recovery
+        assert_eq!(s.state(), SenderState::Open);
+        // Window deflated twice as the classic Reno multi-loss penalty
+        // begins: cwnd == ssthresh after exit.
+        assert_eq!(s.cwnd(), s.ssthresh());
+    }
+
+    #[test]
+    fn window_one_sender_still_progresses() {
+        let cfg = TcpConfig::default()
+            .with_max_window(1)
+            .with_initial_cwnd(1.0);
+        let mut s = TcpSender::new(cfg, Box::new(Reno), Some(5));
+        let a = s.start(t(0));
+        assert_eq!(sends(&a), vec![0]);
+        for i in 0..5 {
+            let a = s.on_ack(t(10 * (i + 1)), i + 1, t(10 * i));
+            if i < 4 {
+                assert_eq!(sends(&a), vec![i + 1]);
+            } else {
+                assert!(a.contains(&TcpAction::Completed));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_completed_never_emitted() {
+        let mut s = TcpSender::new(TcpConfig::default(), Box::new(Reno), Some(2));
+        s.start(t(0));
+        let a = s.on_ack(t(10), 2, t(0));
+        assert_eq!(
+            a.iter()
+                .filter(|x| matches!(x, TcpAction::Completed))
+                .count(),
+            1
+        );
+        assert!(s.on_ack(t(20), 2, t(10)).is_empty());
+        assert!(s.on_rto(t(5000), 1).is_empty());
+    }
+
+    #[test]
+    fn fast_retransmit_does_not_refire_on_more_dupacks() {
+        let mut s = grown(Box::new(Reno));
+        for i in 0..3 {
+            s.on_ack(t(30 + i), 4, t(20));
+        }
+        let retx_after_entry = s.stats().retransmits;
+        // Ten more dupacks: only inflation, no second retransmit of 4.
+        for i in 0..10 {
+            s.on_ack(t(40 + i), 4, t(20));
+        }
+        assert_eq!(s.stats().retransmits, retx_after_entry);
+        assert_eq!(s.stats().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn rto_backoff_visible_in_armed_delay() {
+        let mut s = TcpSender::new(TcpConfig::default(), Box::new(Reno), None);
+        let a0 = s.start(t(0));
+        let d0 = a0
+            .iter()
+            .find_map(|a| match a {
+                TcpAction::ArmRto { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .unwrap();
+        let a1 = s.on_rto(t(1000), s.rto_gen);
+        let d1 = a1
+            .iter()
+            .find_map(|a| match a {
+                TcpAction::ArmRto { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(d1, d0 * 2, "exponential backoff");
+    }
+}

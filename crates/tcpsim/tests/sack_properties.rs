@@ -1,0 +1,79 @@
+//! Property tests for the SACK sender: invariants under adversarial ACK
+//! streams with arbitrary SACK blocks.
+
+use proptest::prelude::*;
+use simcore::SimTime;
+use tcpsim::machine::{AckInfo, SenderMachine};
+use tcpsim::receiver::SackRanges;
+use tcpsim::sack::SackSender;
+use tcpsim::sender::TcpAction;
+use tcpsim::TcpConfig;
+
+#[derive(Clone, Debug)]
+enum Input {
+    Ack { ack: u64, blocks: Vec<(u64, u64)> },
+    Rto(u64),
+}
+
+fn input_strategy() -> impl Strategy<Value = Input> {
+    prop_oneof![
+        (
+            0u64..150,
+            prop::collection::vec((0u64..150, 0u64..20), 0..3)
+        )
+            .prop_map(|(ack, spans)| Input::Ack {
+                ack,
+                blocks: spans
+                    .into_iter()
+                    .map(|(s, w)| (s, s + w.max(1)))
+                    .collect(),
+            }),
+        (0u64..30).prop_map(Input::Rto),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sack_sender_invariants(
+        inputs in prop::collection::vec(input_strategy(), 0..250),
+        flow_size in 1u64..120,
+    ) {
+        let cfg = TcpConfig::default().with_max_window(24);
+        let mut s = SackSender::new(cfg, Some(flow_size));
+        let mut now = SimTime::ZERO;
+        let mut actions = s.start(now);
+        let mut last_una = 0;
+        for input in inputs {
+            now = now + simcore::SimDuration::from_millis(7);
+            let out = match input {
+                Input::Ack { ack, blocks } => {
+                    let mut sack = SackRanges::default();
+                    for b in blocks.iter().take(3) {
+                        sack.blocks[sack.len as usize] = *b;
+                        sack.len += 1;
+                    }
+                    s.on_ack(now, &AckInfo { ack, ts_echo: SimTime::ZERO, sack })
+                }
+                Input::Rto(gen) => s.on_rto(now, gen),
+            };
+            prop_assert!(s.snd_una() >= last_una, "snd_una regressed");
+            last_una = s.snd_una();
+            prop_assert!(s.snd_una() <= s.next_seq());
+            prop_assert!(s.cwnd() >= 1.0);
+            prop_assert!(s.flight() <= 120, "runaway flight");
+            actions.extend(out);
+        }
+        // No segment beyond the flow; FIN exactly on the last segment.
+        for a in &actions {
+            if let TcpAction::Send { seq, fin, .. } = a {
+                prop_assert!(*seq < flow_size);
+                prop_assert_eq!(*fin, *seq + 1 == flow_size);
+            }
+        }
+        // If completed, everything was acknowledged.
+        if s.is_completed() {
+            prop_assert!(s.snd_una() >= flow_size);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Common types shared by the workload generators.
+
+use netsim::{AgentId, FlowId, NodeId};
+
+/// Handles to one installed flow: everything an experiment needs to read
+/// its state back out of the simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowHandle {
+    /// The flow id.
+    pub flow: FlowId,
+    /// The sender agent (downcast to [`tcpsim::TcpSource`]).
+    pub source: AgentId,
+    /// The receiver agent (downcast to [`tcpsim::TcpSink`]).
+    pub sink: AgentId,
+    /// Host the sender lives on.
+    pub source_node: NodeId,
+    /// Host the receiver lives on.
+    pub sink_node: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_copyable() {
+        let h = FlowHandle {
+            flow: FlowId(1),
+            source: AgentId(0),
+            sink: AgentId(1),
+            source_node: NodeId(2),
+            sink_node: NodeId(3),
+        };
+        let h2 = h;
+        assert_eq!(h.flow, h2.flow);
+    }
+}

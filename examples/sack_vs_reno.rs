@@ -1,0 +1,52 @@
+//! SACK vs Reno at the √n buffer — why the paper's testbed outperformed
+//! its own simulations at small flow counts.
+//!
+//! ```sh
+//! cargo run --release --example sack_vs_reno
+//! ```
+//!
+//! Classic Reno converts a multi-packet congestion event into an RTO stall;
+//! SACK (which the testbed's Linux/BSD stacks used) repairs all the holes
+//! within the recovery episode. At `B = BDP/√n` the difference is several
+//! points of utilization.
+
+use sizing_router_buffers::prelude::*;
+use traffic::bulk::CcKind;
+
+fn main() {
+    let n = 48;
+    let mut sc = LongFlowScenario::quick(n, 50_000_000);
+    sc.measure = SimDuration::from_secs(20);
+    sc.buffer_pkts = (sc.bdp_packets() / (n as f64).sqrt()).round() as usize;
+
+    println!(
+        "{n} long-lived flows over 50 Mb/s, buffer {} pkts (= BDP/sqrt(n); BDP = {:.0})\n",
+        sc.buffer_pkts,
+        sc.bdp_packets()
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10}",
+        "flavor", "utilization", "loss", "timeouts", "fast rtx"
+    );
+    for (label, cc) in [
+        ("reno", CcKind::Reno),
+        ("newreno", CcKind::NewReno),
+        ("cubic", CcKind::Cubic),
+        ("sack", CcKind::Sack),
+    ] {
+        sc.cc = cc;
+        let r = sc.run();
+        println!(
+            "{label:<8} {:>11.2}% {:>9.3}% {:>10} {:>10}",
+            r.utilization * 100.0,
+            r.loss_rate * 100.0,
+            r.timeouts,
+            r.fast_retransmits
+        );
+    }
+    println!(
+        "\nSACK keeps the link busiest because multi-loss events never stall in RTO;\n\
+         this is exactly why the paper's GSR testbed (Linux senders) beat its ns-2\n\
+         Reno simulations at n = 100 (see EXPERIMENTS.md, Figure 10)."
+    );
+}
