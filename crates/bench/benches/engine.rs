@@ -1,122 +1,102 @@
-//! Criterion benches for the simulator primitives: event queue, RNG,
-//! queues, and end-to-end event throughput of a TCP simulation.
+//! Benches for the simulator primitives: event queue, RNG, queues, and
+//! end-to-end event throughput of a TCP simulation. Uses the in-tree
+//! `bench::harness` (plain `std::time::Instant`), so no external
+//! benchmarking framework is required.
+//!
+//! Run with `cargo bench -p bench --bench engine`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::bench;
 use netsim::{DropTail, DumbbellBuilder, FlowId, Packet, PacketKind, Queue, Sim};
 use simcore::{EventQueue, Rng, SimDuration, SimTime};
 use std::hint::black_box;
 use tcpsim::cc::Reno;
 use tcpsim::{TcpConfig, TcpSink, TcpSource};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("schedule_pop_1024", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1024u64 {
-                // Pseudo-random times to exercise heap reordering.
-                q.schedule(
-                    SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
-                    i,
-                );
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn bench_event_queue() {
+    bench("event_queue/schedule_pop_1024", 200, 1024, || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1024u64 {
+            // Pseudo-random times to exercise heap reordering.
+            q.schedule(
+                SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
+                i,
+            );
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
     });
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("next_u64_1024", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1024 {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            black_box(acc)
-        })
+fn bench_rng() {
+    let mut rng = Rng::new(1);
+    bench("rng/next_u64_1024", 200, 1024, || {
+        let mut acc = 0u64;
+        for _ in 0..1024 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        black_box(acc);
     });
-    g.bench_function("f64_1024", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1024 {
-                acc += rng.f64();
-            }
-            black_box(acc)
-        })
+    let mut rng = Rng::new(1);
+    bench("rng/f64_1024", 200, 1024, || {
+        let mut acc = 0.0;
+        for _ in 0..1024 {
+            acc += rng.f64();
+        }
+        black_box(acc);
     });
-    g.finish();
 }
 
-fn bench_droptail(c: &mut Criterion) {
-    let mut g = c.benchmark_group("droptail");
-    g.throughput(Throughput::Elements(256));
-    g.bench_function("enqueue_dequeue_256", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut q = DropTail::with_packets(256);
-            for i in 0..256u64 {
-                let pkt = Packet {
-                    uid: i,
-                    flow: FlowId(0),
-                    src: netsim::NodeId(0),
-                    dst: netsim::NodeId(1),
-                    size: 1000,
-                    kind: PacketKind::Udp { seq: i },
-                    created: SimTime::ZERO,
-                };
-                let _ = q.enqueue(pkt, SimTime::ZERO, &mut rng);
-            }
-            let mut n = 0;
-            while q.dequeue(SimTime::ZERO).is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
+fn bench_droptail() {
+    let mut rng = Rng::new(1);
+    bench("droptail/enqueue_dequeue_256", 200, 256, || {
+        let mut q = DropTail::with_packets(256);
+        for i in 0..256u64 {
+            let pkt = Packet {
+                uid: i,
+                flow: FlowId(0),
+                src: netsim::NodeId(0),
+                dst: netsim::NodeId(1),
+                size: 1000,
+                kind: PacketKind::Udp { seq: i },
+                created: SimTime::ZERO,
+            };
+            let _ = q.enqueue(pkt, SimTime::ZERO, &mut rng);
+        }
+        let mut n = 0;
+        while q.dequeue(SimTime::ZERO).is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
-    g.finish();
 }
 
 /// End-to-end: one long-lived TCP flow for 5 simulated seconds.
-fn bench_tcp_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcp_sim");
-    g.sample_size(10);
-    g.bench_function("one_flow_5s", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let d = DumbbellBuilder::new(10_000_000, SimDuration::from_millis(5))
-                .buffer_packets(40)
-                .flows(1, SimDuration::from_millis(10))
-                .build(&mut sim);
-            let flow = FlowId(0);
-            let cfg = TcpConfig::default();
-            let src = TcpSource::new(flow, d.sinks[0], cfg, Box::new(Reno), None);
-            let src_id = sim.add_agent(d.sources[0], Box::new(src));
-            let sink_id = sim.add_agent(d.sinks[0], Box::new(TcpSink::new(flow, &cfg)));
-            sim.bind_flow(flow, d.sinks[0], sink_id);
-            sim.bind_flow(flow, d.sources[0], src_id);
-            sim.start();
-            sim.run_until(SimTime::from_secs(5));
-            black_box(sim.kernel().stats().events)
-        })
+fn bench_tcp_sim() {
+    bench("tcp_sim/one_flow_5s", 10, 1, || {
+        let mut sim = Sim::new(1);
+        let d = DumbbellBuilder::new(10_000_000, SimDuration::from_millis(5))
+            .buffer_packets(40)
+            .flows(1, SimDuration::from_millis(10))
+            .build(&mut sim);
+        let flow = FlowId(0);
+        let cfg = TcpConfig::default();
+        let src = TcpSource::new(flow, d.sinks[0], cfg, Box::new(Reno), None);
+        let src_id = sim.add_agent(d.sources[0], Box::new(src));
+        let sink_id = sim.add_agent(d.sinks[0], Box::new(TcpSink::new(flow, &cfg)));
+        sim.bind_flow(flow, d.sinks[0], sink_id);
+        sim.bind_flow(flow, d.sources[0], src_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(5));
+        black_box(sim.kernel().stats().events);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_droptail,
-    bench_tcp_sim
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_rng();
+    bench_droptail();
+    bench_tcp_sim();
+}

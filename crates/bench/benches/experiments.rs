@@ -1,15 +1,19 @@
-//! Criterion benches timing one representative cell of every paper
-//! artifact (tiny parameterisations — these measure harness cost and guard
-//! against performance regressions; the full regenerations live in the
-//! `src/bin/*` binaries).
+//! Benches timing one representative cell of every paper artifact (tiny
+//! parameterisations — these measure harness cost and guard against
+//! performance regressions; the full regenerations live in the
+//! `src/bin/*` binaries). Uses the in-tree `bench::harness`.
+//!
+//! Run with `cargo bench -p bench --bench experiments`.
 
+use bench::harness::bench;
 use buffersizing::figures::production::ProductionConfig;
 use buffersizing::figures::single_flow::SingleFlowConfig;
 use buffersizing::figures::window_dist::WindowDistConfig;
 use buffersizing::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use traffic::FlowLengthDist;
+
+const BATCHES: usize = 10;
 
 fn tiny_long(n: usize) -> LongFlowScenario {
     let mut sc = LongFlowScenario::quick(n, 20_000_000);
@@ -20,125 +24,88 @@ fn tiny_long(n: usize) -> LongFlowScenario {
 }
 
 /// Figures 3–5 cell: one single-flow trace.
-fn fig03_05_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("fig03_single_flow_trace", |b| {
-        b.iter(|| {
-            let mut cfg = SingleFlowConfig::quick(1.0);
-            cfg.warmup = SimDuration::from_secs(3);
-            cfg.duration = SimDuration::from_secs(5);
-            black_box(cfg.run().utilization)
-        })
+fn fig03_05_cell() {
+    bench("artifacts/fig03_single_flow_trace", BATCHES, 1, || {
+        let mut cfg = SingleFlowConfig::quick(1.0);
+        cfg.warmup = SimDuration::from_secs(3);
+        cfg.duration = SimDuration::from_secs(5);
+        black_box(cfg.run().utilization);
     });
-    g.finish();
 }
 
 /// Figure 6 cell: window-sum sampling + Gaussian fit.
-fn fig06_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("fig06_window_dist", |b| {
-        b.iter(|| {
-            let mut cfg = WindowDistConfig::quick(10);
-            cfg.scenario = tiny_long(10);
-            cfg.scenario.buffer_pkts = 30;
-            black_box(cfg.run().distance)
-        })
+fn fig06_cell() {
+    bench("artifacts/fig06_window_dist", BATCHES, 1, || {
+        let mut cfg = WindowDistConfig::quick(10);
+        cfg.scenario = tiny_long(10);
+        cfg.scenario.buffer_pkts = 30;
+        black_box(cfg.run().distance);
     });
-    g.finish();
 }
 
 /// Figure 7 cell: one utilization evaluation at one buffer size.
-fn fig07_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("fig07_utilization_eval", |b| {
-        b.iter(|| {
-            let mut sc = tiny_long(10);
-            sc.buffer_pkts = 30;
-            black_box(sc.run().utilization)
-        })
+fn fig07_cell() {
+    bench("artifacts/fig07_utilization_eval", BATCHES, 1, || {
+        let mut sc = tiny_long(10);
+        sc.buffer_pkts = 30;
+        black_box(sc.run().utilization);
     });
-    g.finish();
 }
 
 /// Figure 8 cell: one short-flow AFCT evaluation.
-fn fig08_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("fig08_short_flow_afct", |b| {
-        b.iter(|| {
-            let mut sc = ShortFlowScenario::paper_default(20_000_000, 0.6);
-            sc.horizon = SimDuration::from_secs(4);
-            sc.host_pairs = 8;
-            sc.buffer_pkts = 100;
-            black_box(sc.run().afct)
-        })
+fn fig08_cell() {
+    bench("artifacts/fig08_short_flow_afct", BATCHES, 1, || {
+        let mut sc = ShortFlowScenario::paper_default(20_000_000, 0.6);
+        sc.horizon = SimDuration::from_secs(4);
+        sc.host_pairs = 8;
+        sc.buffer_pkts = 100;
+        black_box(sc.run().afct);
     });
-    g.finish();
 }
 
 /// Figure 9 cell: one mixed-traffic run.
-fn fig09_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("fig09_mix_run", |b| {
-        b.iter(|| {
-            let mix = MixScenario {
-                long: tiny_long(6),
-                short_load: 0.1,
-                short_lengths: FlowLengthDist::Fixed(14),
-                short_cfg: TcpConfig::default().with_max_window(43),
-                short_host_pairs: 6,
-            };
-            black_box(mix.run().afct)
-        })
+fn fig09_cell() {
+    bench("artifacts/fig09_mix_run", BATCHES, 1, || {
+        let mix = MixScenario {
+            long: tiny_long(6),
+            short_load: 0.1,
+            short_lengths: FlowLengthDist::Fixed(14),
+            short_cfg: TcpConfig::default().with_max_window(43),
+            short_host_pairs: 6,
+        };
+        black_box(mix.run().afct);
     });
-    g.finish();
 }
 
 /// Table 10 cell: one (n, multiplier) utilization pair (clean sim).
-fn table10_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("table10_cell", |b| {
-        b.iter(|| {
-            let mut sc = tiny_long(16);
-            let bdp = sc.bdp_packets();
-            sc.buffer_pkts = (bdp / 4.0).round() as usize;
-            black_box(sc.run().utilization)
-        })
+fn table10_cell() {
+    bench("artifacts/table10_cell", BATCHES, 1, || {
+        let mut sc = tiny_long(16);
+        let bdp = sc.bdp_packets();
+        sc.buffer_pkts = (bdp / 4.0).round() as usize;
+        black_box(sc.run().utilization);
     });
-    g.finish();
 }
 
 /// Table 11 cell: one production-like session run.
-fn table11_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("artifacts");
-    g.sample_size(10);
-    g.bench_function("table11_cell", |b| {
-        b.iter(|| {
-            let mut cfg = ProductionConfig::quick();
-            cfg.n_sessions = 40;
-            cfg.host_pairs = 8;
-            cfg.warmup = SimDuration::from_secs(2);
-            cfg.measure = SimDuration::from_secs(4);
-            cfg.buffers = vec![60];
-            black_box(cfg.run()[0].utilization)
-        })
+fn table11_cell() {
+    bench("artifacts/table11_cell", BATCHES, 1, || {
+        let mut cfg = ProductionConfig::quick();
+        cfg.n_sessions = 40;
+        cfg.host_pairs = 8;
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.measure = SimDuration::from_secs(4);
+        cfg.buffers = vec![60];
+        black_box(cfg.run()[0].utilization);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    fig03_05_cell,
-    fig06_cell,
-    fig07_cell,
-    fig08_cell,
-    fig09_cell,
-    table10_cell,
-    table11_cell
-);
-criterion_main!(benches);
+fn main() {
+    fig03_05_cell();
+    fig06_cell();
+    fig07_cell();
+    fig08_cell();
+    fig09_cell();
+    table10_cell();
+    table11_cell();
+}

@@ -22,9 +22,10 @@
 //! | `repro` | run everything |
 //!
 //! Every binary accepts `--quick` for a seconds-scale smoke run; the
-//! default is the paper-scale parameterisation. Criterion benches in
-//! `benches/` time the engine primitives and one representative cell per
-//! experiment.
+//! default is the paper-scale parameterisation. The benches in `benches/`
+//! (run with `cargo bench -p bench`) time the engine primitives and one
+//! representative cell per experiment using the in-tree [`harness`] — no
+//! external benchmarking framework, so the workspace builds offline.
 
 
 #![warn(missing_docs)]
@@ -54,6 +55,75 @@ pub fn preamble(artifact: &str, quick: bool) {
         "== Sizing Router Buffers (SIGCOMM 2004) reproduction — {artifact} ({}) ==\n",
         if quick { "quick smoke scale" } else { "full scale" }
     );
+}
+
+pub mod harness {
+    //! A tiny wall-clock benchmarking harness (criterion replacement).
+    //!
+    //! Deliberately minimal: warm up, time `iters` batches with
+    //! `std::time::Instant`, report min/median/mean per iteration. Wall-clock
+    //! reads are fine *here* — this crate is measurement tooling, not part of
+    //! the simulation; sim crates are forbidden from `Instant::now` by
+    //! `simlint`'s `wall-clock` rule.
+
+    use std::time::Instant;
+
+    /// Timing summary for one benchmark.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Timing {
+        /// Fastest observed batch, nanoseconds per element.
+        pub min_ns: f64,
+        /// Median batch, nanoseconds per element.
+        pub median_ns: f64,
+        /// Mean over all batches, nanoseconds per element.
+        pub mean_ns: f64,
+    }
+
+    /// Times `f` and prints a one-line report.
+    ///
+    /// Runs `batches` batches after one warm-up call; `elements` is the
+    /// number of logical operations one call of `f` performs (used to report
+    /// per-element throughput, like criterion's `Throughput::Elements`).
+    pub fn bench<F: FnMut()>(name: &str, batches: usize, elements: u64, mut f: F) -> Timing {
+        assert!(batches > 0 && elements > 0);
+        f(); // warm-up: page in code and data
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(batches);
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            f();
+            let dt = t0.elapsed();
+            samples_ns.push(dt.as_nanos() as f64 / elements as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let min_ns = samples_ns[0];
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let t = Timing {
+            min_ns,
+            median_ns,
+            mean_ns,
+        };
+        println!(
+            "{name:<40} {:>12.1} ns/elem (min) {:>12.1} (median) {:>12.1} (mean) [{batches} batches]",
+            t.min_ns, t.median_ns, t.mean_ns
+        );
+        t
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn bench_reports_sane_numbers() {
+            let mut acc = 0u64;
+            let t = super::bench("noop", 3, 100, || {
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+            });
+            assert!(t.min_ns >= 0.0 && t.min_ns <= t.mean_ns * 1.0001);
+            assert!(t.median_ns.is_finite());
+        }
+    }
 }
 
 #[cfg(test)]

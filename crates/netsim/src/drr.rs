@@ -16,16 +16,17 @@
 use crate::packet::Packet;
 use crate::queue::{Queue, QueueCapacity};
 use simcore::{Rng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A DRR scheduler with per-flow queues and longest-queue drop.
 pub struct Drr {
-    /// Per-flow FIFO queues, keyed by flow id value.
-    queues: HashMap<u32, VecDeque<Packet>>,
+    /// Per-flow FIFO queues, keyed by flow id value. Ordered map so that
+    /// longest-queue ties break by flow id, not hasher state.
+    queues: BTreeMap<u32, VecDeque<Packet>>,
     /// Active flows in round-robin order.
     round: VecDeque<u32>,
     /// Per-flow deficit counters (bytes).
-    deficit: HashMap<u32, i64>,
+    deficit: BTreeMap<u32, i64>,
     /// Service quantum per round, bytes.
     quantum: i64,
     /// Total packets across all queues.
@@ -42,9 +43,9 @@ impl Drr {
     pub fn new(capacity_pkts: usize, quantum: u32) -> Self {
         assert!(quantum > 0);
         Drr {
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             round: VecDeque::new(),
-            deficit: HashMap::new(),
+            deficit: BTreeMap::new(),
             quantum: quantum as i64,
             total_pkts: 0,
             total_bytes: 0,
@@ -54,6 +55,9 @@ impl Drr {
     }
 
     fn longest_flow(&self) -> Option<u32> {
+        // `max_by_key` keeps the last maximum, so ties resolve to the
+        // highest flow id — stable across runs now that iteration is
+        // ordered by key.
         self.queues
             .iter()
             .max_by_key(|(_, q)| q.len())

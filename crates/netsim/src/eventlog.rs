@@ -85,6 +85,39 @@ impl PacketLog {
             .collect()
     }
 
+    /// A 64-bit FNV-1a digest over every stored record (time, uid, flow,
+    /// link, event kind). Two runs of the same scenario with the same seed
+    /// must produce identical digests — the determinism regression tests
+    /// compare these instead of multi-megabyte logs.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for r in &self.records {
+            mix(r.time.as_nanos());
+            mix(r.uid);
+            mix(u64::from(r.flow.0));
+            mix(match r.link {
+                Some(l) => u64::from(l.0) + 1,
+                None => 0,
+            });
+            mix(match r.event {
+                PacketEvent::Queued => 1,
+                PacketEvent::Dropped => 2,
+                PacketEvent::Transmitted => 3,
+                PacketEvent::Delivered => 4,
+            });
+        }
+        mix(self.records.len() as u64);
+        h
+    }
+
     /// Renders the log in an ns-2-like single-line-per-event text format:
     /// `<time> <+|d|-|r> <link|agent> <flow> <uid>` (`+` queued, `d`
     /// dropped, `-` transmitted, `r` received/delivered).
@@ -147,6 +180,24 @@ mod tests {
         assert_eq!(log.for_packet(1).len(), 2);
         assert_eq!(log.for_packet(2).len(), 1);
         assert_eq!(log.for_flow(FlowId(0)).len(), 3);
+    }
+
+    #[test]
+    fn digest_distinguishes_logs() {
+        let mut a = PacketLog::new(10);
+        a.push(rec(1, 1, PacketEvent::Queued));
+        a.push(rec(2, 1, PacketEvent::Transmitted));
+        let mut b = PacketLog::new(10);
+        b.push(rec(1, 1, PacketEvent::Queued));
+        b.push(rec(2, 1, PacketEvent::Transmitted));
+        assert_eq!(a.digest(), b.digest());
+        b.push(rec(3, 1, PacketEvent::Delivered));
+        assert_ne!(a.digest(), b.digest());
+        // Same fields, different event kind.
+        let mut c = PacketLog::new(10);
+        c.push(rec(1, 1, PacketEvent::Dropped));
+        c.push(rec(2, 1, PacketEvent::Transmitted));
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 
 #![warn(missing_docs)]
+pub mod auditor;
 pub mod builder;
 pub mod drr;
 pub mod eventlog;
@@ -37,6 +38,7 @@ pub mod queue;
 pub mod red;
 pub mod sim;
 
+pub use auditor::Auditor;
 pub use builder::{Dumbbell, DumbbellBuilder};
 pub use drr::Drr;
 pub use eventlog::{PacketEvent, PacketLog, PacketRecord};

@@ -1,7 +1,7 @@
 //! Nodes (hosts and routers) and static routing.
 
 use crate::sim::{LinkId, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Whether a node terminates flows or forwards packets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,7 +17,7 @@ pub enum NodeKind {
 /// default route.
 #[derive(Clone, Debug, Default)]
 pub struct RouteTable {
-    routes: HashMap<NodeId, LinkId>,
+    routes: BTreeMap<NodeId, LinkId>,
     default: Option<LinkId>,
 }
 

@@ -18,14 +18,16 @@
 //!    arrives at the downstream node: routers forward it (step 2), hosts
 //!    deliver it to the agent bound to `(node, flow)`.
 
+use crate::auditor::Auditor;
 use crate::eventlog::{PacketEvent, PacketLog, PacketRecord};
 use crate::link::Link;
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowId, Packet, PacketKind};
+use crate::queue::QueueCapacity;
 use simcore::trace::TraceSink;
 use simcore::{EventQueue, Rng, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a node in the simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -124,7 +126,7 @@ pub struct Kernel {
     nodes: Vec<Node>,
     links: Vec<Link>,
     in_flight: Vec<Option<Packet>>,
-    endpoints: HashMap<(NodeId, FlowId), AgentId>,
+    endpoints: BTreeMap<(NodeId, FlowId), AgentId>,
     rng: Rng,
     trace: TraceSink,
     next_uid: u64,
@@ -132,6 +134,13 @@ pub struct Kernel {
     flow_stats: Vec<FlowNetStats>,
     send_jitter: Option<SimDuration>,
     packet_log: Option<PacketLog>,
+    auditor: Option<Auditor>,
+    /// Packets currently propagating (scheduled `Arrival` events). Kept
+    /// unconditionally — it is one add/sub per packet — so the auditor can
+    /// reconcile counters against structural state when enabled.
+    pending_arrivals: u64,
+    /// Jitter-deferred sends (scheduled `Inject` events).
+    pending_injects: u64,
     /// Per-node time of the latest scheduled (jittered) injection; used to
     /// keep jittered sends in FIFO order per node. Jitter models host
     /// processing variability, and a host never reorders its own
@@ -207,6 +216,49 @@ impl Kernel {
         self.packet_log.as_ref()
     }
 
+    /// The runtime auditor, if enabled.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Sums the packets structurally inside the network right now: waiting
+    /// in queues, serializing on links, propagating toward an `Arrival`, or
+    /// pending a jittered `Inject`. Also asserts per-queue capacity bounds.
+    fn structural_in_network(&self) -> u64 {
+        let mut total = self.pending_arrivals + self.pending_injects;
+        for (i, link) in self.links.iter().enumerate() {
+            let pkts = link.queue.len_packets() as u64;
+            match link.queue.capacity() {
+                QueueCapacity::Packets(cap) => assert!(
+                    pkts <= cap as u64,
+                    "queue bound violated on link `{}`: {pkts} packets > capacity {cap}",
+                    link.name
+                ),
+                QueueCapacity::Bytes(cap) => {
+                    let bytes = link.queue.len_bytes();
+                    assert!(
+                        bytes <= cap,
+                        "queue bound violated on link `{}`: {bytes} bytes > capacity {cap}",
+                        link.name
+                    );
+                }
+            }
+            total += pkts + u64::from(self.in_flight[i].is_some());
+        }
+        total
+    }
+
+    /// Runs the post-event audit (conservation + queue bounds), if enabled.
+    fn audit_check(&mut self) {
+        if self.auditor.is_some() {
+            let structural = self.structural_in_network();
+            let now = self.now;
+            if let Some(a) = &mut self.auditor {
+                a.verify(now, structural);
+            }
+        }
+    }
+
     fn log_packet(&mut self, pkt: &Packet, link: Option<LinkId>, event: PacketEvent) {
         if let Some(log) = &mut self.packet_log {
             log.push(PacketRecord {
@@ -230,6 +282,9 @@ impl Kernel {
     fn inject(&mut self, node: NodeId, packet: Packet) {
         let Some(lid) = self.nodes[node.idx()].routes.lookup(packet.dst) else {
             self.stats.unroutable += 1;
+            if let Some(a) = &mut self.auditor {
+                a.on_unroutable();
+            }
             return;
         };
         self.enqueue_on_link(lid, packet);
@@ -251,6 +306,9 @@ impl Kernel {
                 fs.data_drops += 1;
             }
             self.log_packet(&packet, Some(lid), PacketEvent::Dropped);
+            if let Some(a) = &mut self.auditor {
+                a.on_dropped();
+            }
             return;
         }
         let link = &mut self.links[lid.idx()];
@@ -284,6 +342,9 @@ impl Kernel {
                         fs.data_drops += 1;
                     }
                     self.log_packet(&dropped, Some(lid), PacketEvent::Dropped);
+                    if let Some(a) = &mut self.auditor {
+                        a.on_dropped();
+                    }
                 }
             }
         }
@@ -307,6 +368,7 @@ impl Kernel {
         link.monitor.on_tx(packet.size, tx);
         let delay = link.delay;
         self.log_packet(&packet, Some(lid), PacketEvent::Transmitted);
+        self.pending_arrivals += 1;
         self.events.schedule(
             self.now + delay,
             Event::Arrival { link: lid, packet },
@@ -377,6 +439,9 @@ impl<'a> Ctx<'a> {
     /// Sends a packet from this agent's node. Applies the configured send
     /// jitter, if any.
     pub fn send(&mut self, packet: Packet) {
+        if let Some(a) = &mut self.kernel.auditor {
+            a.on_injected();
+        }
         match self.kernel.send_jitter {
             Some(j) if !j.is_zero() => {
                 let jitter =
@@ -390,6 +455,7 @@ impl<'a> Ctx<'a> {
                     t = last;
                 }
                 self.kernel.last_inject[node.idx()] = t;
+                self.kernel.pending_injects += 1;
                 self.kernel
                     .events
                     .schedule(t, Event::Inject { node, packet });
@@ -441,7 +507,7 @@ impl Sim {
                 nodes: Vec::new(),
                 links: Vec::new(),
                 in_flight: Vec::new(),
-                endpoints: HashMap::new(),
+                endpoints: BTreeMap::new(),
                 rng: Rng::new(seed),
                 trace: TraceSink::new(false),
                 next_uid: 0,
@@ -449,6 +515,9 @@ impl Sim {
                 flow_stats: Vec::new(),
                 send_jitter: None,
                 packet_log: None,
+                auditor: None,
+                pending_arrivals: 0,
+                pending_injects: 0,
                 last_inject: Vec::new(),
             },
             agents: Vec::new(),
@@ -465,6 +534,16 @@ impl Sim {
     /// default; see [`crate::eventlog::PacketLog`]).
     pub fn enable_packet_log(&mut self, capacity: usize) {
         self.kernel.packet_log = Some(PacketLog::new(capacity));
+    }
+
+    /// Enables runtime invariant auditing: packet conservation, queue
+    /// bounds, and event-time monotonicity are checked after every event
+    /// (see [`Auditor`]). Must be called before [`Sim::start`]; auditing
+    /// walks every link per event, so reserve it for tests and validation
+    /// runs.
+    pub fn enable_auditor(&mut self) {
+        assert!(!self.started, "enable_auditor() after start()");
+        self.kernel.auditor = Some(Auditor::default());
     }
 
     /// Applies a uniform random delay in `[0, jitter)` to every agent send.
@@ -557,11 +636,15 @@ impl Sim {
                 break;
             }
             let (t, ev) = self.kernel.events.pop().expect("peeked");
+            if let Some(a) = &self.kernel.auditor {
+                a.check_monotonic(self.kernel.now, t);
+            }
             self.kernel.now = t;
             self.kernel.stats.events += 1;
             match ev {
                 Event::TxEnd { link } => self.kernel.on_tx_end(link),
                 Event::Arrival { link, packet } => {
+                    self.kernel.pending_arrivals -= 1;
                     let node = self.kernel.links[link.idx()].to;
                     match self.kernel.nodes[node.idx()].kind {
                         NodeKind::Router => {
@@ -575,15 +658,26 @@ impl Sim {
                                     self.kernel.flow_stats_mut(packet.flow).delivered += 1;
                                     self.kernel
                                         .log_packet(&packet, None, PacketEvent::Delivered);
+                                    if let Some(a) = &mut self.kernel.auditor {
+                                        a.on_delivered();
+                                    }
                                     self.dispatch_packet(aid, packet);
                                 }
-                                None => self.kernel.stats.unroutable += 1,
+                                None => {
+                                    self.kernel.stats.unroutable += 1;
+                                    if let Some(a) = &mut self.kernel.auditor {
+                                        a.on_unroutable();
+                                    }
+                                }
                             }
                         }
                     }
                 }
                 Event::Timer { agent, token } => self.dispatch_timer(agent, token),
-                Event::Inject { node, packet } => self.kernel.inject(node, packet),
+                Event::Inject { node, packet } => {
+                    self.kernel.pending_injects -= 1;
+                    self.kernel.inject(node, packet);
+                }
                 Event::QueueSample { period } => {
                     self.kernel.sample_queues();
                     self.kernel
@@ -591,6 +685,7 @@ impl Sim {
                         .schedule(self.kernel.now + period, Event::QueueSample { period });
                 }
             }
+            self.kernel.audit_check();
         }
         if until > self.kernel.now {
             self.kernel.now = until;

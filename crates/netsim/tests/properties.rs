@@ -1,8 +1,11 @@
-//! Property tests for the network substrate.
+//! Property-style tests for the network substrate, driven by seeded in-tree
+//! generators (the deterministic `simcore::Rng`) instead of an external
+//! property-testing framework.
 
 use netsim::{DropTail, FlowId, NodeId, Packet, PacketKind, Queue, QueueCapacity};
-use proptest::prelude::*;
 use simcore::{Rng, SimTime};
+
+const CASES: u64 = 48;
 
 fn pkt(uid: u64, size: u32) -> Packet {
     Packet {
@@ -16,14 +19,15 @@ fn pkt(uid: u64, size: u32) -> Packet {
     }
 }
 
-proptest! {
-    /// A drop-tail queue never exceeds its packet capacity, preserves FIFO
-    /// order, and conserves packets (accepted = dequeued at drain).
-    #[test]
-    fn droptail_capacity_fifo_conservation(
-        cap in 0usize..64,
-        ops in prop::collection::vec(prop::bool::ANY, 0..500),
-    ) {
+/// A drop-tail queue never exceeds its packet capacity, preserves FIFO
+/// order, and conserves packets (accepted = dequeued at drain).
+#[test]
+fn droptail_capacity_fifo_conservation() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0xA1_0000 + seed);
+        let cap = gen.u64_below(64) as usize;
+        let nops = gen.u64_below(500) as usize;
+        let ops: Vec<bool> = (0..nops).map(|_| gen.chance(0.5)).collect();
         let mut q = DropTail::with_packets(cap);
         let mut rng = Rng::new(1);
         let mut next_uid = 0u64;
@@ -39,50 +43,54 @@ proptest! {
             } else if let Some(p) = q.dequeue(SimTime::ZERO) {
                 dequeued.push(p.uid);
             }
-            prop_assert!(q.len_packets() <= cap);
-            prop_assert_eq!(q.len_bytes(), q.len_packets() as u64 * 100);
+            assert!(q.len_packets() <= cap, "seed {seed}");
+            assert_eq!(q.len_bytes(), q.len_packets() as u64 * 100, "seed {seed}");
         }
         while let Some(p) = q.dequeue(SimTime::ZERO) {
             dequeued.push(p.uid);
         }
-        prop_assert_eq!(accepted, dequeued); // FIFO + conservation
+        assert_eq!(accepted, dequeued, "seed {seed}: FIFO + conservation");
     }
+}
 
-    /// Byte-capacity queues respect the byte bound for mixed packet sizes.
-    #[test]
-    fn droptail_byte_bound(
-        cap_bytes in 100u64..10_000,
-        sizes in prop::collection::vec(40u32..1500, 0..200),
-    ) {
+/// Byte-capacity queues respect the byte bound for mixed packet sizes.
+#[test]
+fn droptail_byte_bound() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0xA2_0000 + seed);
+        let cap_bytes = 100 + gen.u64_below(9_900);
+        let n = gen.u64_below(200) as usize;
         let mut q = DropTail::new(QueueCapacity::Bytes(cap_bytes));
         let mut rng = Rng::new(2);
-        for (i, &s) in sizes.iter().enumerate() {
-            let _ = q.enqueue(pkt(i as u64, s), SimTime::ZERO, &mut rng);
-            prop_assert!(q.len_bytes() <= cap_bytes);
+        for i in 0..n {
+            let size = 40 + gen.u64_below(1460) as u32;
+            let _ = q.enqueue(pkt(i as u64, size), SimTime::ZERO, &mut rng);
+            assert!(q.len_bytes() <= cap_bytes, "seed {seed}");
         }
     }
+}
 
-    /// RED never exceeds physical capacity either, and never drops when the
-    /// average sits below min_th.
-    #[test]
-    fn red_respects_capacity(
-        ops in prop::collection::vec(prop::bool::ANY, 0..300),
-    ) {
-        use netsim::red::RedConfig;
-        use netsim::Red;
-        use simcore::SimDuration;
+/// RED never exceeds physical capacity either.
+#[test]
+fn red_respects_capacity() {
+    use netsim::red::RedConfig;
+    use netsim::Red;
+    use simcore::SimDuration;
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0xA3_0000 + seed);
+        let nops = gen.u64_below(300) as usize;
         let cap = 32;
         let mut q = Red::new(RedConfig::recommended(cap, SimDuration::from_micros(80)));
         let mut rng = Rng::new(3);
         let mut uid = 0;
-        for enqueue in ops {
-            if enqueue {
+        for _ in 0..nops {
+            if gen.chance(0.5) {
                 let _ = q.enqueue(pkt(uid, 1000), SimTime::ZERO, &mut rng);
                 uid += 1;
             } else {
                 let _ = q.dequeue(SimTime::ZERO);
             }
-            prop_assert!(q.len_packets() <= cap);
+            assert!(q.len_packets() <= cap, "seed {seed}");
         }
     }
 }

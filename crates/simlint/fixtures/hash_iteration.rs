@@ -1,0 +1,19 @@
+//! Seeded violation fixture for simlint's own tests. Not compiled into any
+//! crate — read with `include_str!` by `scan.rs` unit tests, which assert
+//! that the hash-container rule flags both lines below.
+//!
+//! The bug class this models: accumulating per-flow state in a `HashMap`
+//! and then iterating it to schedule events. Iteration order depends on the
+//! process's hasher seed, so two runs with the same simulation seed visit
+//! flows in different orders and produce different event interleavings.
+
+use std::collections::HashMap;
+
+fn schedule_all(flows: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut order = Vec::new();
+    for (&flow, &next_seq) in flows {
+        // Nondeterministic visitation order leaks into the event queue.
+        order.push(flow.wrapping_mul(31).wrapping_add(next_seq));
+    }
+    order
+}

@@ -1,0 +1,216 @@
+//! `simlint.toml` — configuration for the determinism contract.
+//!
+//! simlint is dependency-free by design (it guards the build that builds
+//! everything else), so this module includes a hand-rolled parser for the
+//! small TOML subset the config actually uses: `[section]` headers,
+//! `key = value` with boolean, string, and single-line string-array values,
+//! and `#` comments. Unknown sections or keys are hard errors — a typo in a
+//! lint config must not silently disable a rule.
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-rule settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSettings {
+    /// Whether the rule is checked at all.
+    pub enabled: bool,
+    /// Whether code inside `#[cfg(test)]` modules is exempt.
+    pub skip_tests: bool,
+}
+
+impl Default for RuleSettings {
+    fn default() -> Self {
+        RuleSettings {
+            enabled: true,
+            skip_tests: false,
+        }
+    }
+}
+
+/// The full linter configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Directories to scan, relative to the workspace root.
+    pub roots: Vec<String>,
+    /// Settings per rule (every rule has an entry).
+    pub rules: BTreeMap<RuleId, RuleSettings>,
+}
+
+impl Config {
+    /// The default contract: scan the four simulation crates, all rules on.
+    pub fn default_contract() -> Config {
+        Config {
+            roots: vec![
+                "crates/simcore".to_string(),
+                "crates/netsim".to_string(),
+                "crates/tcpsim".to_string(),
+                "crates/traffic".to_string(),
+            ],
+            rules: RuleId::ALL
+                .into_iter()
+                .map(|r| (r, RuleSettings::default()))
+                .collect(),
+        }
+    }
+
+    /// Loads and parses a `simlint.toml`.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Config::from_toml(&text)
+    }
+
+    /// Parses config text, starting from [`Config::default_contract`] and
+    /// applying overrides.
+    pub fn from_toml(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default_contract();
+        let mut section: Option<Section> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            let err = |msg: String| format!("simlint.toml:{}: {msg}", lineno + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = Some(match name.trim() {
+                    "scan" => Section::Scan,
+                    other => match other.strip_prefix("rules.") {
+                        Some(rule_name) => {
+                            let rule = RuleId::parse(rule_name.trim()).ok_or_else(|| {
+                                err(format!("unknown rule `{}`", rule_name.trim()))
+                            })?;
+                            Section::Rule(rule)
+                        }
+                        None => return Err(err(format!("unknown section `[{other}]`"))),
+                    },
+                });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match section {
+                None => return Err(err(format!("key `{key}` outside any section"))),
+                Some(Section::Scan) => match key {
+                    "roots" => cfg.roots = parse_string_array(value).map_err(err)?,
+                    _ => return Err(err(format!("unknown key `{key}` in [scan]"))),
+                },
+                Some(Section::Rule(rule)) => {
+                    let settings = cfg.rules.get_mut(&rule).expect("all rules present");
+                    match key {
+                        "enabled" => settings.enabled = parse_bool(value).map_err(err)?,
+                        "skip_tests" => settings.skip_tests = parse_bool(value).map_err(err)?,
+                        _ => {
+                            return Err(err(format!(
+                                "unknown key `{key}` in [rules.{}]",
+                                rule.name()
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The settings for one rule.
+    pub fn rule(&self, id: RuleId) -> RuleSettings {
+        self.rules.get(&id).copied().unwrap_or_default()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Section {
+    Scan,
+    Rule(RuleId),
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected `true` or `false`, got `{other}`")),
+    }
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got `{v}`"))?;
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a `[...]` array, got `{v}`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_contract_covers_all_rules() {
+        let cfg = Config::default_contract();
+        for r in RuleId::ALL {
+            assert!(cfg.rule(r).enabled);
+            assert!(!cfg.rule(r).skip_tests);
+        }
+        assert_eq!(cfg.roots.len(), 4);
+    }
+
+    #[test]
+    fn parses_overrides() {
+        let cfg = Config::from_toml(
+            r#"
+            # comment
+            [scan]
+            roots = ["crates/a", "crates/b"] # trailing comment
+
+            [rules.lossy-cast]
+            enabled = false
+
+            [rules.wall-clock]
+            skip_tests = true
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates/a", "crates/b"]);
+        assert!(!cfg.rule(RuleId::LossyCast).enabled);
+        assert!(cfg.rule(RuleId::WallClock).skip_tests);
+        assert!(cfg.rule(RuleId::HashContainer).enabled);
+    }
+
+    #[test]
+    fn rejects_typos() {
+        assert!(Config::from_toml("[rules.hash-contanier]\nenabled = false").is_err());
+        assert!(Config::from_toml("[scan]\nroot = [\"x\"]").is_err());
+        assert!(Config::from_toml("[rules.wall-clock]\nenable = true").is_err());
+        assert!(Config::from_toml("stray = true").is_err());
+    }
+}

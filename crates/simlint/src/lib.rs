@@ -1,0 +1,42 @@
+//! # simlint — static enforcement of the simulator's determinism contract
+//!
+//! Every quantitative claim this repository reproduces (the `RTT·C/√n`
+//! headline, the M/G/1 short-flow bound, the `ℓ ≈ 0.76/W²` loss curve) rests
+//! on the discrete-event simulator being bit-for-bit deterministic under a
+//! fixed seed. `simlint` is a dependency-free, workspace-aware linter that
+//! scans the simulation crates (`simcore`, `netsim`, `tcpsim`, `traffic`)
+//! and rejects constructs that silently break that contract:
+//!
+//! * [`RuleId::HashContainer`] (`hash-container`) — no `HashMap`/`HashSet`
+//!   in sim crates. Their iteration order depends on a per-process hasher
+//!   seed; use `BTreeMap`/`BTreeSet`/`Vec` or a sorted wrapper instead.
+//! * [`RuleId::WallClock`] (`wall-clock`) — no wall-clock or OS entropy
+//!   (`Instant::now`, `SystemTime`, `rand::thread_rng`, `std::thread`)
+//!   inside simulation code. All time is `simcore::SimTime`; all randomness
+//!   flows from the master seed through `simcore::Rng`.
+//! * [`RuleId::LossyCast`] (`lossy-cast`) — no lossy `as` casts on sequence
+//!   numbers or byte counters (narrowing to `u32`/`u16`/`u8`/`i32`/…).
+//!   Wrapping 32-bit wire arithmetic lives in `tcpsim::seq`, the one waived
+//!   module.
+//! * [`RuleId::FloatTimeEq`] (`float-time-eq`) — no raw `==`/`!=` on
+//!   float-projected simulated time (`as_secs_f64()`); compare `SimTime`
+//!   values, which are exact integer nanoseconds.
+//!
+//! Rules are configured by `simlint.toml` at the workspace root and can be
+//! waived per line (`// simlint: allow(rule)`), for the next line (a waiver
+//! comment on a line of its own), or per file (`// simlint:
+//! allow-file(rule)`).
+//!
+//! The linter runs as a binary (`cargo run -p simlint`) and as a library
+//! from the tier-1 test `tests/static_analysis.rs`, which asserts zero
+//! violations. Its dynamic counterpart is `netsim::Auditor`, which checks at
+//! run time what a static pass cannot see (packet conservation, queue
+//! bounds, event-time monotonicity).
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+pub use config::{Config, RuleSettings};
+pub use rules::RuleId;
+pub use scan::{check_source, check_workspace, Violation};

@@ -1,0 +1,62 @@
+//! `cargo run -p simlint` — scan the workspace and report violations.
+//!
+//! Exits 0 when the determinism contract holds, 1 when violations are
+//! found, 2 on configuration or I/O errors.
+
+use simlint::{check_workspace, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// containing `simlint.toml`, falling back to the crate's grandparent
+/// (`crates/simlint/../..`) so the binary also works from a build script or
+/// test harness cwd.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join("simlint.toml").is_file() {
+                return Some(dir);
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let fallback = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    fallback.join("simlint.toml").is_file().then_some(fallback)
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("simlint: no simlint.toml found above the current directory");
+        return ExitCode::from(2);
+    };
+    let cfg = match Config::load(&root.join("simlint.toml")) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = match check_workspace(&root, &cfg) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("simlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!(
+            "simlint: determinism contract holds ({} roots, {} rules)",
+            cfg.roots.len(),
+            cfg.rules.values().filter(|s| s.enabled).count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("simlint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

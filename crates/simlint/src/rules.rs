@@ -1,0 +1,246 @@
+//! The determinism-contract rules and their per-line matchers.
+//!
+//! Matchers operate on *code text* — the scanner strips comments and string
+//! literal contents first (see [`crate::scan`]) so that prose mentioning
+//! `HashMap` or an error message containing `thread_rng` never trips a rule.
+
+/// Identifies one rule of the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// D1: no `HashMap`/`HashSet` — hashed iteration order is seeded per
+    /// process and therefore nondeterministic.
+    HashContainer,
+    /// D2: no wall-clock or OS entropy inside simulation code.
+    WallClock,
+    /// D3: no lossy `as` casts on sequence numbers / byte counters.
+    LossyCast,
+    /// D4: no raw float equality on simulated time.
+    FloatTimeEq,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 4] = [
+        RuleId::HashContainer,
+        RuleId::WallClock,
+        RuleId::LossyCast,
+        RuleId::FloatTimeEq,
+    ];
+
+    /// The rule's name as used in `simlint.toml` and waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashContainer => "hash-container",
+            RuleId::WallClock => "wall-clock",
+            RuleId::LossyCast => "lossy-cast",
+            RuleId::FloatTimeEq => "float-time-eq",
+        }
+    }
+
+    /// Parses a rule name (as written in config/waivers).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// One-line explanation attached to violation reports.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::HashContainer => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet/Vec"
+            }
+            RuleId::WallClock => {
+                "wall-clock/OS entropy breaks seed reproducibility; use SimTime and simcore::Rng"
+            }
+            RuleId::LossyCast => {
+                "lossy `as` cast on a sequence/byte quantity; use the wrap-safe helpers in tcpsim::seq or widen"
+            }
+            RuleId::FloatTimeEq => {
+                "raw float equality on simulated time; compare SimTime (integer ns) or use simcore::time helpers"
+            }
+        }
+    }
+
+    /// Runs this rule against one line of comment/string-stripped code.
+    /// Returns a short description of the offending construct, if any.
+    pub fn check_line(self, code: &str) -> Option<String> {
+        match self {
+            RuleId::HashContainer => check_hash_container(code),
+            RuleId::WallClock => check_wall_clock(code),
+            RuleId::LossyCast => check_lossy_cast(code),
+            RuleId::FloatTimeEq => check_float_time_eq(code),
+        }
+    }
+}
+
+/// True iff `hay[i..]` starts with `needle` at an identifier boundary on
+/// both sides.
+fn word_at(hay: &str, i: usize, needle: &str) -> bool {
+    if !hay[i..].starts_with(needle) {
+        return false;
+    }
+    let before_ok = i == 0
+        || !hay[..i]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = hay[i + needle.len()..].chars().next();
+    let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Finds `needle` in `hay` as a whole identifier/path segment.
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(off) = hay[start..].find(needle) {
+        let i = start + off;
+        if word_at(hay, i, needle) {
+            return Some(i);
+        }
+        start = i + 1;
+    }
+    None
+}
+
+fn check_hash_container(code: &str) -> Option<String> {
+    for banned in ["HashMap", "HashSet"] {
+        if find_word(code, banned).is_some() {
+            return Some(format!("use of `{banned}`"));
+        }
+    }
+    None
+}
+
+fn check_wall_clock(code: &str) -> Option<String> {
+    // Path-shaped patterns: the leading segment must sit at an identifier
+    // boundary, so e.g. `MySystemTimer` does not match `SystemTime`.
+    for banned in [
+        "Instant::now",
+        "SystemTime",
+        "thread_rng",
+        "std::thread",
+        "rand::",
+    ] {
+        let head = banned.split(':').next().expect("non-empty pattern");
+        let mut start = 0;
+        while let Some(off) = code[start..].find(banned) {
+            let i = start + off;
+            if word_at(code, i, head) {
+                return Some(format!("use of `{banned}`"));
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
+/// Integer types an `as` cast may truncate into.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments that mark a value as a sequence number, byte
+/// counter, or packet uid — the quantities whose truncation silently
+/// corrupts long simulations.
+const SENSITIVE: [&str; 3] = ["seq", "byte", "uid"];
+
+fn check_lossy_cast(code: &str) -> Option<String> {
+    let mut start = 0;
+    while let Some(off) = code[start..].find(" as ") {
+        let i = start + off;
+        let after = &code[i + 4..];
+        let ty = after
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("");
+        if NARROW_INTS.contains(&ty) {
+            // Look at the expression text feeding the cast (bounded window:
+            // this is a line-local heuristic, not a type checker).
+            let window_start = i.saturating_sub(48);
+            let expr = code[window_start..i].to_ascii_lowercase();
+            for frag in SENSITIVE {
+                if expr.contains(frag) {
+                    return Some(format!(
+                        "narrowing cast `as {ty}` on a `{frag}`-like quantity"
+                    ));
+                }
+            }
+        }
+        start = i + 4;
+    }
+    None
+}
+
+fn check_float_time_eq(code: &str) -> Option<String> {
+    let projects_time = code.contains("as_secs_f64") || code.contains("as_millis_f64");
+    if projects_time {
+        // `==`/`!=` on the same line as a float projection of SimTime.
+        // `>=`/`<=` are fine (ordering survives the f64 projection for the
+        // ranges a simulation uses); equality does not.
+        let b = code.as_bytes();
+        for i in 0..b.len().saturating_sub(1) {
+            if b[i] == b'!' && b[i + 1] == b'=' {
+                return Some("float `!=` on a SimTime projection".to_string());
+            }
+            if b[i] == b'=' && b[i + 1] == b'=' {
+                let prev = if i == 0 { b' ' } else { b[i - 1] };
+                if !matches!(prev, b'<' | b'>' | b'=' | b'!') {
+                    return Some("float `==` on a SimTime projection".to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn hash_container_positive_and_negative() {
+        assert!(check_hash_container("let m: HashMap<u32, u64> = HashMap::new();").is_some());
+        assert!(check_hash_container("use std::collections::HashSet;").is_some());
+        // Identifier boundaries: a type merely containing the name is fine.
+        assert!(check_hash_container("struct MyHashMapLike;").is_none());
+        assert!(check_hash_container("let m = BTreeMap::new();").is_none());
+    }
+
+    #[test]
+    fn wall_clock_patterns() {
+        assert!(check_wall_clock("let t0 = Instant::now();").is_some());
+        assert!(check_wall_clock("let t = std::time::SystemTime::now();").is_some());
+        assert!(check_wall_clock("let mut rng = rand::thread_rng();").is_some());
+        assert!(check_wall_clock("std::thread::sleep(d);").is_some());
+        assert!(check_wall_clock("let now = ctx.now();").is_none());
+        // Identifier boundary: `MySystemTimer` must not match `SystemTime`.
+        assert!(check_wall_clock("let x = MySystemTimer::new();").is_none());
+    }
+
+    #[test]
+    fn lossy_cast_heuristic() {
+        assert!(check_lossy_cast("let wire = seq as u32;").is_some());
+        assert!(check_lossy_cast("let b = total_bytes as u32;").is_some());
+        assert!(check_lossy_cast("hdr.uid as u16").is_some());
+        // Widening is fine.
+        assert!(check_lossy_cast("let s = seq as u64;").is_none());
+        // Narrowing something insensitive is out of scope for this rule.
+        assert!(check_lossy_cast("let i = index as u32;").is_none());
+    }
+
+    #[test]
+    fn float_time_eq_heuristic() {
+        assert!(check_float_time_eq("if a.as_secs_f64() == b.as_secs_f64() {").is_some());
+        assert!(check_float_time_eq("if t.as_millis_f64() != 0.0 {").is_some());
+        // Ordering comparisons and arithmetic are allowed.
+        assert!(check_float_time_eq("if t.as_secs_f64() >= warmup {").is_none());
+        assert!(check_float_time_eq("let x = t.as_secs_f64() * 2.0;").is_none());
+        // Exact SimTime comparison is the sanctioned form.
+        assert!(check_float_time_eq("if now == deadline {").is_none());
+    }
+}

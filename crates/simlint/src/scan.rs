@@ -1,0 +1,411 @@
+//! Source scanning: comment/string stripping, `#[cfg(test)]` tracking,
+//! waiver handling, and workspace traversal.
+//!
+//! The scanner is deliberately line-based — it is a contract enforcer, not a
+//! compiler. It errs on the side of *flagging* (the waiver syntax exists for
+//! the rare sanctioned exception) while stripping comments and string
+//! literal contents so documentation never trips a rule.
+
+use crate::config::Config;
+use crate::rules::RuleId;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One determinism-contract violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// File the violation is in (workspace-relative when produced by
+    /// [`check_workspace`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// What was found.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}\n    {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message,
+            self.rule.explain(),
+            self.snippet
+        )
+    }
+}
+
+/// Per-line output of the preprocessor.
+struct ProcessedLine {
+    /// Code with comments removed and string-literal contents blanked.
+    code: String,
+    /// Concatenated text of comments on this line (for waiver detection).
+    comments: String,
+}
+
+/// Streaming preprocessor state carried across lines.
+#[derive(Default)]
+struct Preprocessor {
+    /// Nesting depth of `/* */` block comments (they nest in Rust).
+    block_comment_depth: usize,
+}
+
+impl Preprocessor {
+    /// Strips comments and string contents from one line.
+    fn process(&mut self, line: &str) -> ProcessedLine {
+        let mut code = String::with_capacity(line.len());
+        let mut comments = String::new();
+        let mut chars = line.chars().peekable();
+        'outer: while let Some(c) = chars.next() {
+            if self.block_comment_depth > 0 {
+                match c {
+                    '*' if chars.peek() == Some(&'/') => {
+                        chars.next();
+                        self.block_comment_depth -= 1;
+                    }
+                    '/' if chars.peek() == Some(&'*') => {
+                        chars.next();
+                        self.block_comment_depth += 1;
+                    }
+                    _ => comments.push(c),
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    // Line comment: the rest of the line is comment text.
+                    comments.extend(chars);
+                    break 'outer;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    self.block_comment_depth += 1;
+                }
+                '"' => {
+                    // String literal: skip contents (escapes included).
+                    code.push('"');
+                    while let Some(s) = chars.next() {
+                        match s {
+                            '\\' => {
+                                chars.next();
+                            }
+                            '"' => {
+                                code.push('"');
+                                continue 'outer;
+                            }
+                            _ => {}
+                        }
+                    }
+                    break 'outer; // unterminated on this line (multi-line string)
+                }
+                '\'' => {
+                    // Either a char literal or a lifetime. A char literal
+                    // closes with `'` within a couple of characters.
+                    let rest: String = chars.clone().take(3).collect();
+                    let is_char_lit = rest.starts_with('\\')
+                        || rest.chars().nth(1) == Some('\'');
+                    if is_char_lit {
+                        // Skip to the closing quote.
+                        let mut escaped = false;
+                        code.push_str("' '"); // placeholder keeps spacing
+                        for s in chars.by_ref() {
+                            match s {
+                                '\\' if !escaped => escaped = true,
+                                '\'' if !escaped => break,
+                                _ => escaped = false,
+                            }
+                        }
+                    } else {
+                        code.push('\''); // lifetime tick
+                    }
+                }
+                _ => code.push(c),
+            }
+        }
+        ProcessedLine { code, comments }
+    }
+}
+
+/// Waivers extracted from one comment.
+#[derive(Default)]
+struct Waivers {
+    line: BTreeSet<RuleId>,
+    file: BTreeSet<RuleId>,
+}
+
+/// Parses `simlint: allow(rule, ...)` / `simlint: allow-file(rule, ...)`
+/// from comment text.
+fn parse_waivers(comment: &str) -> Waivers {
+    let mut w = Waivers::default();
+    let mut rest = comment;
+    while let Some(i) = rest.find("simlint:") {
+        let directive = rest[i + "simlint:".len()..].trim_start();
+        let (is_file, args) = if let Some(a) = directive.strip_prefix("allow-file(") {
+            (true, a)
+        } else if let Some(a) = directive.strip_prefix("allow(") {
+            (false, a)
+        } else {
+            rest = &rest[i + "simlint:".len()..];
+            continue;
+        };
+        if let Some(end) = args.find(')') {
+            for name in args[..end].split(',') {
+                if let Some(rule) = RuleId::parse(name.trim()) {
+                    if is_file {
+                        w.file.insert(rule);
+                    } else {
+                        w.line.insert(rule);
+                    }
+                }
+            }
+        }
+        rest = &rest[i + "simlint:".len()..];
+    }
+    w
+}
+
+/// Lints one source file's text. `label` is used as the file name in
+/// reported violations.
+pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let mut pre = Preprocessor::default();
+    let mut violations = Vec::new();
+    let mut file_waivers: BTreeSet<RuleId> = BTreeSet::new();
+    // Waivers from a comment-only line apply to the next line with code.
+    let mut pending_waivers: BTreeSet<RuleId> = BTreeSet::new();
+    // Brace depth, and the depths at which `#[cfg(test)]` regions opened.
+    let mut depth: i64 = 0;
+    let mut test_region_depths: Vec<i64> = Vec::new();
+    let mut cfg_test_pending = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let processed = pre.process(raw);
+        let code = processed.code.as_str();
+
+        let waivers = parse_waivers(&processed.comments);
+        file_waivers.extend(waivers.file.iter().copied());
+        let mut line_waivers: BTreeSet<RuleId> = waivers.line;
+        if code.trim().is_empty() {
+            // Comment-only line: its waivers arm the next code line.
+            pending_waivers.extend(line_waivers);
+            continue;
+        }
+        line_waivers.extend(std::mem::take(&mut pending_waivers));
+
+        if code.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        }
+        let depth_before = depth;
+        let opens = code.chars().filter(|&c| c == '{').count() as i64;
+        let closes = code.chars().filter(|&c| c == '}').count() as i64;
+        if cfg_test_pending && opens > 0 {
+            test_region_depths.push(depth_before);
+            cfg_test_pending = false;
+        }
+        depth += opens - closes;
+        let in_test = !test_region_depths.is_empty();
+
+        for rule in RuleId::ALL {
+            let settings = cfg.rule(rule);
+            if !settings.enabled
+                || (settings.skip_tests && in_test)
+                || file_waivers.contains(&rule)
+                || line_waivers.contains(&rule)
+            {
+                continue;
+            }
+            if let Some(message) = rule.check_line(code) {
+                violations.push(Violation {
+                    file: label.to_string(),
+                    line: idx + 1,
+                    rule,
+                    message,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+
+        // Leave test regions whose block closed on this line.
+        while test_region_depths.last().is_some_and(|&d| depth <= d) {
+            test_region_depths.pop();
+        }
+    }
+    violations
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// report order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under the configured scan roots.
+///
+/// `workspace_root` is the directory containing `simlint.toml`; reported
+/// file names are relative to it.
+pub fn check_workspace(workspace_root: &Path, cfg: &Config) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for root in &cfg.roots {
+        let dir = workspace_root.join(root);
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("scan root `{root}` not found under {}", workspace_root.display()),
+            ));
+        }
+        rust_files(&dir, &mut files)?;
+    }
+    let mut violations = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        violations.extend(check_source(&label, &text, cfg));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        check_source("test.rs", src, &Config::default_contract())
+    }
+
+    #[test]
+    fn fixture_hash_iteration_is_flagged() {
+        // The seeded violation fixture: HashMap iteration in sim-style code.
+        let fixture = include_str!("../fixtures/hash_iteration.rs");
+        let violations = lint(fixture);
+        assert!(
+            violations.iter().any(|v| v.rule == RuleId::HashContainer),
+            "fixture must trip hash-container: {violations:?}"
+        );
+        // Both the `use` and the type mention are flagged.
+        assert!(violations.len() >= 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.file == "test.rs"));
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let src = r#"
+            //! HashMap is banned here; Instant::now too.
+            /* also HashMap in block comments,
+               even SystemTime across lines */
+            fn f() -> String {
+                let msg = "HashMap and thread_rng in a string";
+                let c = '"';
+                msg.to_string()
+            }
+        "#;
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn line_waiver_same_line_and_next_line() {
+        let src = "
+            use std::collections::HashMap; // simlint: allow(hash-container)
+            // simlint: allow(hash-container)
+            let m: HashMap<u32, u32> = HashMap::new();
+            let bad: HashMap<u32, u32> = HashMap::new();
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn file_waiver_covers_whole_file() {
+        let src = "
+            // simlint: allow-file(lossy-cast)
+            fn to_wire(seq: u64) -> u32 { seq as u32 }
+            fn also(seq: u64) -> u16 { seq as u16 }
+        ";
+        assert!(lint(src).is_empty());
+        // …but only the waived rule.
+        let src2 = "
+            // simlint: allow-file(lossy-cast)
+            use std::collections::HashMap;
+        ";
+        assert_eq!(lint(src2).len(), 1);
+    }
+
+    #[test]
+    fn skip_tests_setting_exempts_cfg_test_modules() {
+        let src = "
+            fn prod(t: SimTime) { let _ = t; }
+            #[cfg(test)]
+            mod tests {
+                use std::time::Instant;
+                fn helper() { let _t = Instant::now(); }
+            }
+            fn late() { let _x = std::time::Instant::now(); }
+        ";
+        // Default: test code is linted too (the bare `use` doesn't match —
+        // only the `Instant::now` call sites do).
+        assert_eq!(lint(src).len(), 2);
+        // With skip_tests, only the code outside the test module fires.
+        let mut cfg = Config::default_contract();
+        cfg.rules
+            .get_mut(&RuleId::WallClock)
+            .unwrap()
+            .skip_tests = true;
+        let v = check_source("test.rs", src, &cfg);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 8);
+    }
+
+    #[test]
+    fn disabled_rule_is_silent() {
+        let mut cfg = Config::default_contract();
+        cfg.rules
+            .get_mut(&RuleId::HashContainer)
+            .unwrap()
+            .enabled = false;
+        let v = check_source("t.rs", "use std::collections::HashMap;", &cfg);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = &lint("use std::collections::HashSet;")[0];
+        let s = v.to_string();
+        assert!(s.contains("test.rs:1"));
+        assert!(s.contains("hash-container"));
+        assert!(s.contains("HashSet"));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_string_state() {
+        // A `'"'` char literal must not open a string that swallows code.
+        let src = "let q = '\"'; use std::collections::HashMap;";
+        assert_eq!(lint(src).len(), 1);
+    }
+}

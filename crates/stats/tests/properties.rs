@@ -1,12 +1,22 @@
-//! Property tests for the statistics toolkit.
+//! Property-style tests for the statistics toolkit, driven by seeded
+//! in-tree generators (`simcore::Rng`) instead of an external framework.
 
-use proptest::prelude::*;
+use simcore::Rng;
 use stats::{quantile, Histogram, Welford};
 
-proptest! {
-    /// Welford mean/variance match the naive two-pass computation.
-    #[test]
-    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+const CASES: u64 = 48;
+
+fn vec_f64(gen: &mut Rng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = min_len + gen.u64_below((max_len - min_len) as u64) as usize;
+    (0..n).map(|_| gen.f64_range(lo, hi)).collect()
+}
+
+/// Welford mean/variance match the naive two-pass computation.
+#[test]
+fn welford_matches_naive() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x51_0000 + seed);
+        let xs = vec_f64(&mut gen, -1e6, 1e6, 1, 200);
         let mut w = Welford::new();
         for &x in &xs {
             w.add(x);
@@ -14,43 +24,58 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var));
-        prop_assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()), "seed {seed}");
+        assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var), "seed {seed}");
+        assert_eq!(w.count(), xs.len() as u64, "seed {seed}");
     }
+}
 
-    /// Merging two Welford accumulators equals accumulating everything in
-    /// one.
-    #[test]
-    fn welford_merge_associative(
-        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
-        ys in prop::collection::vec(-1e3f64..1e3, 1..100),
-    ) {
+/// Merging two Welford accumulators equals accumulating everything in one.
+#[test]
+fn welford_merge_associative() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x52_0000 + seed);
+        let xs = vec_f64(&mut gen, -1e3, 1e3, 1, 100);
+        let ys = vec_f64(&mut gen, -1e3, 1e3, 1, 100);
         let mut a = Welford::new();
-        for &x in &xs { a.add(x); }
+        for &x in &xs {
+            a.add(x);
+        }
         let mut b = Welford::new();
-        for &y in &ys { b.add(y); }
+        for &y in &ys {
+            b.add(y);
+        }
         a.merge(&b);
         let mut all = Welford::new();
-        for &v in xs.iter().chain(ys.iter()) { all.add(v); }
-        prop_assert!((a.mean() - all.mean()).abs() < 1e-8);
-        prop_assert!((a.variance() - all.variance()).abs() < 1e-6);
+        for &v in xs.iter().chain(ys.iter()) {
+            all.add(v);
+        }
+        assert!((a.mean() - all.mean()).abs() < 1e-8, "seed {seed}");
+        assert!((a.variance() - all.variance()).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    /// Histogram counts are conserved: every sample lands somewhere.
-    #[test]
-    fn histogram_conserves_samples(xs in prop::collection::vec(-10.0f64..10.0, 0..500)) {
+/// Histogram counts are conserved: every sample lands somewhere.
+#[test]
+fn histogram_conserves_samples() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x53_0000 + seed);
+        let xs = vec_f64(&mut gen, -10.0, 10.0, 0, 500);
         let mut h = Histogram::new(-5.0, 5.0, 17);
         for &x in &xs {
             h.add(x);
         }
         let inside: u64 = (0..h.nbins()).map(|i| h.bin_count(i)).sum();
-        prop_assert_eq!(inside + h.underflow() + h.overflow(), xs.len() as u64);
+        assert_eq!(inside + h.underflow() + h.overflow(), xs.len() as u64, "seed {seed}");
     }
+}
 
-    /// The empirical CCDF is monotone non-increasing.
-    #[test]
-    fn ccdf_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+/// The empirical CCDF is monotone non-increasing.
+#[test]
+fn ccdf_monotone() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x54_0000 + seed);
+        let xs = vec_f64(&mut gen, 0.0, 100.0, 1, 300);
         let mut h = Histogram::new(0.0, 100.0, 50);
         for &x in &xs {
             h.add(x);
@@ -58,26 +83,30 @@ proptest! {
         let mut prev = f64::INFINITY;
         for t in 0..=100 {
             let v = h.ccdf(t as f64);
-            prop_assert!(v <= prev + 1e-12);
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!(v <= prev + 1e-12, "seed {seed}");
+            assert!((0.0..=1.0).contains(&v), "seed {seed}");
             prev = v;
         }
     }
+}
 
-    /// Quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn quantiles_monotone_and_bounded(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+/// Quantiles are monotone in q and bounded by min/max.
+#[test]
+fn quantiles_monotone_and_bounded() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x55_0000 + seed);
+        let xs = vec_f64(&mut gen, -1e3, 1e3, 1, 200);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = quantile(&xs, q).unwrap();
-            prop_assert!(v >= prev - 1e-12);
-            prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+            assert!(v >= prev - 1e-12, "seed {seed}");
+            assert!(v >= min - 1e-12 && v <= max + 1e-12, "seed {seed}");
             prev = v;
         }
-        prop_assert_eq!(quantile(&xs, 0.0).unwrap(), min);
-        prop_assert_eq!(quantile(&xs, 1.0).unwrap(), max);
+        assert_eq!(quantile(&xs, 0.0).unwrap(), min, "seed {seed}");
+        assert_eq!(quantile(&xs, 1.0).unwrap(), max, "seed {seed}");
     }
 }

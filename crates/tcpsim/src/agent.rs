@@ -495,7 +495,7 @@ mod tests {
         let st = src.sender().stats();
         assert!(st.segments_sent >= 500);
         // Debug: find segments sent more than once with retransmit=false.
-        let mut newcount = std::collections::HashMap::new();
+        let mut newcount = std::collections::BTreeMap::new();
         let reno = src
             .sender()
             .as_any()

@@ -5,6 +5,11 @@
 //! `u64` segment indexes; [`SeqUnwrapper`] recovers the unwrapped value from
 //! the wire representation, assuming successive values never jump by more
 //! than half the sequence space (true for any windowed protocol).
+//!
+//! This module is the one sanctioned home for narrowing sequence casts —
+//! wrapping to 32 bits *is* the wire format here, so the determinism
+//! contract's lossy-cast rule is waived for the whole file.
+// simlint: allow-file(lossy-cast)
 
 /// Serial-number comparison (RFC 1982 style) for 32-bit sequence numbers:
 /// `a` is *before* `b` iff the signed distance `b - a` is positive.

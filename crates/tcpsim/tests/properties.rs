@@ -1,13 +1,16 @@
-//! Property tests for the TCP state machines: invariants must hold under
-//! arbitrary (adversarial) ACK and timer sequences.
+//! Property-style tests for the TCP state machines: invariants must hold
+//! under arbitrary (adversarial) ACK and timer sequences. Cases are drawn
+//! from seeded in-tree generators (`simcore::Rng`), so every failure
+//! reproduces from the printed seed.
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{Rng, SimTime};
 use tcpsim::cc::Reno;
 use tcpsim::receiver::TcpReceiver;
 use tcpsim::sender::{TcpAction, TcpSender};
 use tcpsim::seq::{seq_le, seq_lt, SeqUnwrapper};
 use tcpsim::TcpConfig;
+
+const CASES: u64 = 64;
 
 /// One scripted input to the sender.
 #[derive(Clone, Debug)]
@@ -16,54 +19,60 @@ enum Input {
     Rto(u64),
 }
 
-fn input_strategy() -> impl Strategy<Value = Input> {
-    prop_oneof![
-        (0u64..200).prop_map(Input::Ack),
-        (0u64..20).prop_map(Input::Rto),
-    ]
+fn gen_input(gen: &mut Rng) -> Input {
+    if gen.chance(0.5) {
+        Input::Ack(gen.u64_below(200))
+    } else {
+        Input::Rto(gen.u64_below(20))
+    }
 }
 
-proptest! {
-    /// Under any input sequence: snd_una is monotone, flight is bounded by
-    /// the configured receiver window, and the sender never emits a segment
-    /// beyond the flow length.
-    #[test]
-    fn sender_invariants_under_adversarial_input(
-        inputs in prop::collection::vec(input_strategy(), 0..300),
-        flow_size in 1u64..150,
-    ) {
+/// Under any input sequence: snd_una is monotone, flight is bounded by
+/// the configured receiver window, and the sender never emits a segment
+/// beyond the flow length.
+#[test]
+fn sender_invariants_under_adversarial_input() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x7C_0000 + seed);
+        let n_inputs = gen.u64_below(300) as usize;
+        let flow_size = 1 + gen.u64_below(149);
         let cfg = TcpConfig::default().with_max_window(32);
         let mut s = TcpSender::new(cfg, Box::new(Reno), Some(flow_size));
         let mut now = SimTime::ZERO;
         let mut all_actions = s.start(now);
         let mut last_una = 0;
-        for input in inputs {
+        for _ in 0..n_inputs {
             now = now + simcore::SimDuration::from_millis(10);
-            let actions = match input {
+            let actions = match gen_input(&mut gen) {
                 Input::Ack(a) => s.on_ack(now, a, SimTime::ZERO),
-                Input::Rto(gen) => s.on_rto(now, gen),
+                Input::Rto(g) => s.on_rto(now, g),
             };
-            prop_assert!(s.snd_una() >= last_una, "snd_una went backwards");
+            assert!(s.snd_una() >= last_una, "seed {seed}: snd_una went backwards");
             last_una = s.snd_una();
-            prop_assert!(s.flight() <= 32 + 1, "flight {} > rwnd", s.flight());
-            prop_assert!(s.cwnd() >= 1.0);
+            assert!(s.flight() <= 32 + 1, "seed {seed}: flight {} > rwnd", s.flight());
+            assert!(s.cwnd() >= 1.0, "seed {seed}");
             all_actions.extend(actions);
         }
         for a in &all_actions {
             if let TcpAction::Send { seq, fin, .. } = a {
-                prop_assert!(*seq < flow_size, "sent past the end");
-                prop_assert_eq!(*fin, *seq + 1 == flow_size);
+                assert!(*seq < flow_size, "seed {seed}: sent past the end");
+                assert_eq!(*fin, *seq + 1 == flow_size, "seed {seed}");
             }
         }
     }
+}
 
-    /// A receiver fed any permutation of a flow's segments delivers each
-    /// exactly once, ends with rcv_nxt == len, and completes iff the FIN
-    /// has arrived in order.
-    #[test]
-    fn receiver_handles_any_arrival_order(order in prop::collection::vec(0usize..40, 1..40)) {
-        // Build an arrival order: a shuffled prefix plus guaranteed full
-        // coverage afterwards.
+/// A receiver fed any permutation of a flow's segments delivers each
+/// exactly once, ends with rcv_nxt == len, and completes iff the FIN
+/// has arrived in order.
+#[test]
+fn receiver_handles_any_arrival_order() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x7D_0000 + seed);
+        let n = 1 + gen.u64_below(39) as usize;
+        let order: Vec<usize> = (0..n).map(|_| gen.u64_below(40) as usize).collect();
+        // An arrival order: a shuffled prefix plus guaranteed full coverage
+        // afterwards.
         let len = 40u64;
         let mut r = TcpReceiver::new(false);
         let mut t = 0u64;
@@ -77,38 +86,46 @@ proptest! {
             t += 1;
             let res = r.on_data(SimTime::from_millis(t), seq, seq + 1 == len, SimTime::ZERO, SimTime::ZERO);
             if let Some(ack) = res.ack {
-                prop_assert!(ack.ack <= len);
+                assert!(ack.ack <= len, "seed {seed}");
             }
         }
-        prop_assert_eq!(r.rcv_nxt(), len);
-        prop_assert!(r.completed_at().is_some());
-        prop_assert_eq!(r.delivered(), len);
+        assert_eq!(r.rcv_nxt(), len, "seed {seed}");
+        assert!(r.completed_at().is_some(), "seed {seed}");
+        assert_eq!(r.delivered(), len, "seed {seed}");
     }
+}
 
-    /// Wrap-safe comparisons are a strict total order on any window of
-    /// ±2^31 around a base.
-    #[test]
-    fn seq_comparisons_consistent(base in any::<u32>(), a in 0u32..1000, b in 0u32..1000) {
+/// Wrap-safe comparisons are a strict total order on any window of
+/// ±2^31 around a base.
+#[test]
+fn seq_comparisons_consistent() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x7E_0000 + seed);
+        let base = gen.next_u64() as u32;
+        let a = gen.u64_below(1000) as u32;
+        let b = gen.u64_below(1000) as u32;
         let x = base.wrapping_add(a);
         let y = base.wrapping_add(b);
-        prop_assert_eq!(seq_lt(x, y), a < b);
-        prop_assert_eq!(seq_le(x, y), a <= b);
+        assert_eq!(seq_lt(x, y), a < b, "seed {seed}");
+        assert_eq!(seq_le(x, y), a <= b, "seed {seed}");
     }
+}
 
-    /// The unwrapper recovers any monotone sequence with bounded steps,
-    /// across wraps.
-    #[test]
-    fn unwrapper_recovers_monotone_streams(
-        start in any::<u32>(),
-        steps in prop::collection::vec(0u64..100_000, 1..100),
-    ) {
+/// The unwrapper recovers any monotone sequence with bounded steps,
+/// across wraps.
+#[test]
+fn unwrapper_recovers_monotone_streams() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x7F_0000 + seed);
+        let start = gen.next_u64() as u32;
+        let n = 1 + gen.u64_below(99) as usize;
         let mut u = SeqUnwrapper::new();
         let mut expected = start as u64;
-        prop_assert_eq!(u.unwrap(start), expected);
-        for s in steps {
-            expected += s;
+        assert_eq!(u.unwrap(start), expected, "seed {seed}");
+        for _ in 0..n {
+            expected += gen.u64_below(100_000);
             let wire = expected as u32;
-            prop_assert_eq!(u.unwrap(wire), expected);
+            assert_eq!(u.unwrap(wire), expected, "seed {seed}");
         }
     }
 }

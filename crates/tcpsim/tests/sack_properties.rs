@@ -1,13 +1,15 @@
-//! Property tests for the SACK sender: invariants under adversarial ACK
-//! streams with arbitrary SACK blocks.
+//! Property-style tests for the SACK sender: invariants under adversarial
+//! ACK streams with arbitrary SACK blocks, drawn from seeded in-tree
+//! generators (`simcore::Rng`).
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{Rng, SimTime};
 use tcpsim::machine::{AckInfo, SenderMachine};
 use tcpsim::receiver::SackRanges;
 use tcpsim::sack::SackSender;
 use tcpsim::sender::TcpAction;
 use tcpsim::TcpConfig;
+
+const CASES: u64 = 64;
 
 #[derive(Clone, Debug)]
 enum Input {
@@ -15,38 +17,37 @@ enum Input {
     Rto(u64),
 }
 
-fn input_strategy() -> impl Strategy<Value = Input> {
-    prop_oneof![
-        (
-            0u64..150,
-            prop::collection::vec((0u64..150, 0u64..20), 0..3)
-        )
-            .prop_map(|(ack, spans)| Input::Ack {
-                ack,
-                blocks: spans
-                    .into_iter()
-                    .map(|(s, w)| (s, s + w.max(1)))
-                    .collect(),
-            }),
-        (0u64..30).prop_map(Input::Rto),
-    ]
+fn gen_input(gen: &mut Rng) -> Input {
+    if gen.chance(0.5) {
+        let ack = gen.u64_below(150);
+        let n_blocks = gen.u64_below(3) as usize;
+        let blocks = (0..n_blocks)
+            .map(|_| {
+                let s = gen.u64_below(150);
+                let w = gen.u64_below(20);
+                (s, s + w.max(1))
+            })
+            .collect();
+        Input::Ack { ack, blocks }
+    } else {
+        Input::Rto(gen.u64_below(30))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn sack_sender_invariants(
-        inputs in prop::collection::vec(input_strategy(), 0..250),
-        flow_size in 1u64..120,
-    ) {
+#[test]
+fn sack_sender_invariants() {
+    for seed in 0..CASES {
+        let mut gen = Rng::new(0x5A_0000 + seed);
+        let n_inputs = gen.u64_below(250) as usize;
+        let flow_size = 1 + gen.u64_below(119);
         let cfg = TcpConfig::default().with_max_window(24);
         let mut s = SackSender::new(cfg, Some(flow_size));
         let mut now = SimTime::ZERO;
         let mut actions = s.start(now);
         let mut last_una = 0;
-        for input in inputs {
+        for _ in 0..n_inputs {
             now = now + simcore::SimDuration::from_millis(7);
-            let out = match input {
+            let out = match gen_input(&mut gen) {
                 Input::Ack { ack, blocks } => {
                     let mut sack = SackRanges::default();
                     for b in blocks.iter().take(3) {
@@ -55,25 +56,25 @@ proptest! {
                     }
                     s.on_ack(now, &AckInfo { ack, ts_echo: SimTime::ZERO, sack })
                 }
-                Input::Rto(gen) => s.on_rto(now, gen),
+                Input::Rto(g) => s.on_rto(now, g),
             };
-            prop_assert!(s.snd_una() >= last_una, "snd_una regressed");
+            assert!(s.snd_una() >= last_una, "seed {seed}: snd_una regressed");
             last_una = s.snd_una();
-            prop_assert!(s.snd_una() <= s.next_seq());
-            prop_assert!(s.cwnd() >= 1.0);
-            prop_assert!(s.flight() <= 120, "runaway flight");
+            assert!(s.snd_una() <= s.next_seq(), "seed {seed}");
+            assert!(s.cwnd() >= 1.0, "seed {seed}");
+            assert!(s.flight() <= 120, "seed {seed}: runaway flight");
             actions.extend(out);
         }
         // No segment beyond the flow; FIN exactly on the last segment.
         for a in &actions {
             if let TcpAction::Send { seq, fin, .. } = a {
-                prop_assert!(*seq < flow_size);
-                prop_assert_eq!(*fin, *seq + 1 == flow_size);
+                assert!(*seq < flow_size, "seed {seed}");
+                assert_eq!(*fin, *seq + 1 == flow_size, "seed {seed}");
             }
         }
         // If completed, everything was acknowledged.
         if s.is_completed() {
-            prop_assert!(s.snd_una() >= flow_size);
+            assert!(s.snd_una() >= flow_size, "seed {seed}");
         }
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: release build, every test, and the determinism
+# contract lint. Run from anywhere inside the repo; fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (workspace)"
+cargo build --workspace --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo run -p simlint (determinism contract)"
+cargo run -q --release -p simlint
+
+echo "==> all checks passed"

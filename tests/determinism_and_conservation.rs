@@ -29,6 +29,44 @@ fn whole_experiment_is_bit_deterministic() {
     assert_eq!(a.3, b.3);
 }
 
+/// A Figure 3-scale dumbbell (many Reno flows, jittered sends, drops at a
+/// small buffer) run twice with the same seed must produce bit-identical
+/// per-packet event logs, compared via [`netsim::PacketLog::digest`]. This
+/// is a much stronger statement than equal summary statistics: every queue,
+/// drop, transmit, and delivery must happen at the same nanosecond for the
+/// same packet uid in both runs.
+#[test]
+fn fig03_scale_event_log_digests_are_identical() {
+    let run = |seed: u64| -> u64 {
+        let mut sim = Sim::new(seed);
+        sim.enable_packet_log(2_000_000);
+        sim.set_send_jitter(SimDuration::from_micros(100));
+        let d = DumbbellBuilder::new(20_000_000, SimDuration::from_millis(5))
+            .buffer_packets(40)
+            .flows(12, SimDuration::from_millis(20))
+            .build(&mut sim);
+        let cfg = TcpConfig::default();
+        for i in 0..12u32 {
+            let flow = FlowId(i);
+            let src = TcpSource::new(flow, d.sinks[i as usize], cfg, Box::new(Reno), None)
+                .with_start_delay(SimDuration::from_millis(50 * u64::from(i)));
+            let src_id = sim.add_agent(d.sources[i as usize], Box::new(src));
+            let sink_id =
+                sim.add_agent(d.sinks[i as usize], Box::new(TcpSink::new(flow, &cfg)));
+            sim.bind_flow(flow, d.sinks[i as usize], sink_id);
+            sim.bind_flow(flow, d.sources[i as usize], src_id);
+        }
+        sim.start();
+        sim.run_until(simcore::SimTime::from_secs(10));
+        let log = sim.kernel().packet_log().expect("log enabled");
+        assert!(!log.records().is_empty());
+        assert_eq!(log.overflowed, 0, "raise the log capacity");
+        log.digest()
+    };
+    assert_eq!(run(4242), run(4242));
+    assert_ne!(run(4242), run(4243));
+}
+
 #[test]
 fn seeds_actually_matter() {
     let mut sc = LongFlowScenario::quick(12, 20_000_000);

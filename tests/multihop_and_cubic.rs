@@ -34,6 +34,9 @@ fn parking_lot_tcp_through_two_bottlenecks() {
         sinks.push(add(&mut sim, pl.left_sources[i], pl.left_sinks[i]));
         sinks.push(add(&mut sim, pl.right_sources[i], pl.right_sinks[i]));
     }
+    // Runtime invariant auditing: packet conservation, queue bounds, and
+    // clock monotonicity are re-verified after every event of this run.
+    sim.enable_auditor();
     sim.start();
     sim.run_until(SimTime::from_secs(8));
     let mark = sim.now();
@@ -58,6 +61,16 @@ fn parking_lot_tcp_through_two_bottlenecks() {
         let delivered = sim.agent_as::<TcpSink>(*k).unwrap().receiver().delivered();
         assert!(delivered > 500, "flow {i} starved: {delivered} segments");
     }
+
+    // The auditor's independent conservation ledger must agree with the
+    // kernel's own statistics — and must actually have been checking.
+    let audit = sim.kernel().auditor().expect("auditor enabled");
+    let stats = sim.kernel().stats();
+    assert_eq!(audit.delivered(), stats.delivered);
+    assert_eq!(audit.dropped(), stats.drops);
+    assert_eq!(audit.unroutable(), stats.unroutable);
+    assert!(audit.injected() >= audit.delivered() + audit.dropped());
+    assert!(audit.checks() > 100_000, "audited {} events", audit.checks());
 }
 
 #[test]

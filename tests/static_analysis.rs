@@ -1,0 +1,42 @@
+//! Tier-1 gate: the determinism contract holds across the simulation
+//! crates. Runs the `simlint` scanner as a library over the workspace using
+//! the checked-in `simlint.toml` and fails on any violation — the same
+//! check `cargo run -p simlint` performs from the command line.
+
+use simlint::{check_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn determinism_contract_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
+    let violations = check_workspace(root, &cfg).expect("scan succeeds");
+    assert!(
+        violations.is_empty(),
+        "determinism contract violated ({} finding(s)):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The config in the repo must scan all four simulation crates with every
+/// rule enabled — a PR that quietly shrinks coverage should fail loudly.
+#[test]
+fn contract_coverage_is_complete() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
+    for root_dir in ["crates/simcore", "crates/netsim", "crates/tcpsim", "crates/traffic"] {
+        assert!(
+            cfg.roots.iter().any(|r| r == root_dir),
+            "simlint.toml no longer scans {root_dir}"
+        );
+    }
+    for rule in simlint::RuleId::ALL {
+        assert!(cfg.rule(rule).enabled, "rule {} disabled", rule.name());
+        assert!(!cfg.rule(rule).skip_tests, "rule {} skips tests", rule.name());
+    }
+}
