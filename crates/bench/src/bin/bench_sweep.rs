@@ -1,0 +1,99 @@
+//! Parallel-sweep throughput baseline (`BENCH_sweep.json`).
+//!
+//! Times a fixed grid of independent `LongFlowScenario` cells at
+//! `--jobs 1` versus `--jobs N` (default N: all cores), asserting the two
+//! sweeps return identical results, and — with `--repro` — additionally
+//! times the whole `repro --quick` pipeline at both jobs levels. Writes a
+//! machine-readable JSON report (default `artifacts/BENCH_sweep.json`,
+//! override with `--out <path>`) so future performance work has a
+//! committed trajectory to compare against.
+use bench::harness::{sweep_json, SweepSection};
+use buffersizing::prelude::*;
+use std::process::{Command, Stdio};
+
+fn out_flag() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "artifacts/BENCH_sweep.json".to_string())
+}
+
+fn repro_flag() -> bool {
+    std::env::args().any(|a| a == "--repro")
+}
+
+/// The benchmark cells: one quick long-flow run per buffer size, coarse
+/// enough that scheduling overhead is noise, small enough that the whole
+/// grid finishes in seconds per jobs level.
+fn cell_buffers() -> Vec<usize> {
+    vec![10, 20, 35, 50, 70, 90, 120, 160]
+}
+
+fn run_cells(jobs: usize) -> Vec<LongFlowResult> {
+    let exec = Executor::new(jobs);
+    let buffers = cell_buffers();
+    exec.map(&buffers, |&b| {
+        let mut sc = LongFlowScenario::quick(8, 20_000_000);
+        sc.warmup = SimDuration::from_secs(2);
+        sc.measure = SimDuration::from_secs(5);
+        sc.buffer_pkts = b;
+        sc.run()
+    })
+}
+
+fn main() {
+    let jobs = bench::jobs_flag();
+    let cores = buffersizing::exec::default_jobs();
+    bench::preamble("sweep throughput baseline", bench::quick_flag());
+    println!("cores = {cores}, max jobs level = {jobs}\n");
+
+    let levels: Vec<usize> = if jobs > 1 { vec![1, jobs] } else { vec![1] };
+
+    // Determinism first: the parallel sweep must be byte-identical to the
+    // sequential one before its timing means anything.
+    let reference = run_cells(1);
+    for &l in &levels {
+        assert_eq!(
+            run_cells(l),
+            reference,
+            "jobs={l} sweep diverged from sequential"
+        );
+    }
+    println!("determinism: jobs levels {levels:?} all byte-identical\n");
+
+    let mut sections = vec![SweepSection::measure(
+        "long_flow_cells",
+        cell_buffers().len(),
+        &levels,
+        |l| {
+            let _ = run_cells(l);
+        },
+    )];
+
+    if repro_flag() {
+        let exe = std::env::current_exe().expect("own path");
+        let repro = exe.parent().expect("bin dir").join("repro");
+        // 15 artifact binaries behind repro --quick.
+        sections.push(SweepSection::measure("repro_quick", 15, &levels, |l| {
+            let status = Command::new(&repro)
+                .args(["--quick", "--jobs", &l.to_string()])
+                .stdout(Stdio::null())
+                .status()
+                .expect("running repro");
+            assert!(status.success(), "repro --quick --jobs {l} failed");
+        }));
+    }
+
+    let json = sweep_json(cores, &sections);
+    let path = out_flag();
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("creating output dir");
+    }
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\n(JSON written to {path})");
+    for s in &sections {
+        println!("{}: speedup {:.2}x at jobs={jobs}", s.name, s.speedup());
+    }
+}

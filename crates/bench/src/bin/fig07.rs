@@ -1,6 +1,9 @@
 //! Regenerates Figure 7: minimum buffer for 98/99.5/99.9% utilization vs
 //! the number of long-lived flows, against RTT*C/sqrt(n).
+//! `--jobs N` parallelizes the sweep (default: all cores; results are
+//! identical at any jobs level).
 use buffersizing::figures::min_buffer::{render, MinBufferConfig};
+use buffersizing::Executor;
 
 fn main() {
     let quick = bench::quick_flag();
@@ -10,7 +13,7 @@ fn main() {
     } else {
         MinBufferConfig::full()
     };
-    let pts = cfg.run();
+    let pts = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&pts));
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::min_buffer::to_table(&pts).to_csv());

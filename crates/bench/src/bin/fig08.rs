@@ -1,6 +1,9 @@
 //! Regenerates Figure 8: minimum buffer keeping short-flow AFCT within
 //! 12.5% of the infinite-buffer AFCT, vs the M/G/1 model.
+//! `--jobs N` parallelizes the sweep (default: all cores; results are
+//! identical at any jobs level).
 use buffersizing::figures::short_flow_buffer::{render, ShortBufferConfig};
+use buffersizing::Executor;
 
 fn main() {
     let quick = bench::quick_flag();
@@ -10,7 +13,7 @@ fn main() {
     } else {
         ShortBufferConfig::full()
     };
-    let pts = cfg.run();
+    let pts = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&pts));
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(

@@ -1,5 +1,8 @@
 //! Regenerates Figure 9: short-flow AFCT with BDP/sqrt(n) vs BDP buffers.
+//! `--jobs N` runs the two sides concurrently (default: all cores;
+//! results are identical at any jobs level).
 use buffersizing::figures::afct_comparison::{render, AfctComparisonConfig};
+use buffersizing::Executor;
 
 fn main() {
     let quick = bench::quick_flag();
@@ -9,6 +12,6 @@ fn main() {
     } else {
         AfctComparisonConfig::full()
     };
-    let (sqrt_n, rot) = cfg.run();
+    let (sqrt_n, rot) = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&sqrt_n, &rot));
 }

@@ -1,9 +1,11 @@
 //! Runs every artifact regeneration in sequence (the full reproduction).
-//! Pass --quick for a smoke pass.
+//! Pass --quick for a smoke pass; --jobs N forwards the worker count to
+//! every parallel-capable binary (default: all cores).
 use std::process::Command;
 
 fn main() {
     let quick = bench::quick_flag();
+    let jobs = bench::jobs_flag();
     let bins = [
         "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "table10", "table11",
         "ext_sync", "ext_loss", "ext_highrate", "ext_pacing", "ext_multihop",
@@ -17,6 +19,7 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
+        cmd.args(["--jobs", &jobs.to_string()]);
         let status = cmd.status().unwrap_or_else(|e| panic!("running {b}: {e}"));
         assert!(status.success(), "{b} failed");
         println!();

@@ -1,6 +1,9 @@
 //! Regenerates the Figure 10 table: OC3 utilization for n x multiplier,
 //! model vs simulation vs testbed proxy.
+//! `--jobs N` parallelizes the sweep (default: all cores; results are
+//! identical at any jobs level).
 use buffersizing::figures::gsr_table::{render, GsrTableConfig};
+use buffersizing::Executor;
 
 fn main() {
     let quick = bench::quick_flag();
@@ -15,7 +18,7 @@ fn main() {
         s.n_flows = 1;
         s.bdp_packets()
     };
-    let rows = cfg.run();
+    let rows = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&rows, bdp));
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::gsr_table::to_table(&rows).to_csv());

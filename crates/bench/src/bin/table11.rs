@@ -1,5 +1,8 @@
 //! Regenerates the Figure 11 table: throttled 20 Mb/s production-like link.
+//! `--jobs N` parallelizes the buffer sweep (default: all cores; results
+//! are identical at any jobs level).
 use buffersizing::figures::production::{render, ProductionConfig};
+use buffersizing::Executor;
 
 fn main() {
     let quick = bench::quick_flag();
@@ -9,7 +12,7 @@ fn main() {
     } else {
         ProductionConfig::full()
     };
-    let rows = cfg.run();
+    let rows = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&rows, &cfg));
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::production::to_table(&rows).to_csv());

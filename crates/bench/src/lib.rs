@@ -34,6 +34,22 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
 
+/// Worker count from `--jobs N` on the command line; defaults to the
+/// machine's available parallelism. `--jobs 1` forces the sequential path,
+/// which reproduces the pre-parallelism output exactly.
+pub fn jobs_flag() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs" || a == "-j")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--jobs expects a positive integer, got {v:?}"))
+                .max(1)
+        })
+        .unwrap_or_else(buffersizing::exec::default_jobs)
+}
+
 /// When `--csv <path>` was passed, returns the path to write CSV to.
 pub fn csv_flag() -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -110,6 +126,113 @@ pub mod harness {
         t
     }
 
+    /// One timed run of a sweep at a given worker count.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SweepSample {
+        /// `--jobs` level the sweep ran at.
+        pub jobs: usize,
+        /// Wall-clock time of the whole sweep, seconds.
+        pub wall_s: f64,
+        /// Completed cells per wall-clock second.
+        pub cells_per_s: f64,
+    }
+
+    /// Timings of one sweep across several `--jobs` levels.
+    #[derive(Clone, Debug)]
+    pub struct SweepSection {
+        /// What was swept (e.g. `"long_flow_cells"`, `"repro_quick"`).
+        pub name: String,
+        /// Number of independent cells the sweep executes.
+        pub cells: usize,
+        /// One sample per `--jobs` level, in measurement order.
+        pub samples: Vec<SweepSample>,
+    }
+
+    impl SweepSection {
+        /// Times `f` (a whole sweep of `cells` independent runs) once at
+        /// each `jobs` level and records wall time and cells/sec.
+        pub fn measure<F: FnMut(usize)>(
+            name: &str,
+            cells: usize,
+            jobs_levels: &[usize],
+            mut f: F,
+        ) -> Self {
+            assert!(cells > 0);
+            let mut samples = Vec::with_capacity(jobs_levels.len());
+            for &jobs in jobs_levels {
+                let t0 = Instant::now();
+                f(jobs);
+                let wall_s = t0.elapsed().as_secs_f64();
+                samples.push(SweepSample {
+                    jobs,
+                    wall_s,
+                    cells_per_s: cells as f64 / wall_s.max(1e-12),
+                });
+                println!(
+                    "{name:<28} jobs={jobs:<3} {wall_s:>9.3} s  {:>10.2} cells/s",
+                    cells as f64 / wall_s.max(1e-12)
+                );
+            }
+            SweepSection {
+                name: name.to_string(),
+                cells,
+                samples,
+            }
+        }
+
+        /// Speedup of the fastest multi-worker sample over the `jobs == 1`
+        /// sample (1.0 when either is missing).
+        pub fn speedup(&self) -> f64 {
+            let base = self
+                .samples
+                .iter()
+                .find(|s| s.jobs == 1)
+                .map(|s| s.wall_s);
+            let best = self
+                .samples
+                .iter()
+                .filter(|s| s.jobs > 1)
+                .map(|s| s.wall_s)
+                .fold(f64::INFINITY, f64::min);
+            match base {
+                Some(b) if best.is_finite() && best > 0.0 => b / best,
+                _ => 1.0,
+            }
+        }
+    }
+
+    /// Renders the `BENCH_sweep.json` document: machine context plus one
+    /// entry per sweep section. Hand-rolled JSON — no serde in the tree.
+    pub fn sweep_json(cores: usize, sections: &[SweepSection]) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"sweep\",\n");
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str("  \"sections\": [\n");
+        for (i, s) in sections.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+            out.push_str(&format!("      \"cells\": {},\n", s.cells));
+            out.push_str(&format!("      \"speedup\": {:.4},\n", s.speedup()));
+            out.push_str("      \"samples\": [\n");
+            for (j, smp) in s.samples.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"jobs\": {}, \"wall_s\": {:.4}, \"cells_per_s\": {:.4}}}{}\n",
+                    smp.jobs,
+                    smp.wall_s,
+                    smp.cells_per_s,
+                    if j + 1 < s.samples.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < sections.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     #[cfg(test)]
     mod tests {
         #[test]
@@ -122,6 +245,51 @@ pub mod harness {
             });
             assert!(t.min_ns >= 0.0 && t.min_ns <= t.mean_ns * 1.0001);
             assert!(t.median_ns.is_finite());
+        }
+
+        #[test]
+        fn sweep_section_and_json() {
+            let s = super::SweepSection {
+                name: "demo".into(),
+                cells: 8,
+                samples: vec![
+                    super::SweepSample {
+                        jobs: 1,
+                        wall_s: 4.0,
+                        cells_per_s: 2.0,
+                    },
+                    super::SweepSample {
+                        jobs: 4,
+                        wall_s: 1.0,
+                        cells_per_s: 8.0,
+                    },
+                ],
+            };
+            assert!((s.speedup() - 4.0).abs() < 1e-9);
+            let json = super::sweep_json(4, &[s]);
+            assert!(json.contains("\"cores\": 4"));
+            assert!(json.contains("\"cells_per_s\": 8.0000"));
+            assert!(json.contains("\"speedup\": 4.0000"));
+            // Balanced braces/brackets — cheap well-formedness check.
+            assert_eq!(
+                json.matches('{').count(),
+                json.matches('}').count()
+            );
+            assert_eq!(
+                json.matches('[').count(),
+                json.matches(']').count()
+            );
+        }
+
+        #[test]
+        fn sweep_measure_runs_each_level() {
+            let mut seen = Vec::new();
+            let s = super::SweepSection::measure("t", 4, &[1, 2], |jobs| {
+                seen.push(jobs);
+            });
+            assert_eq!(seen, vec![1, 2]);
+            assert_eq!(s.samples.len(), 2);
+            assert!(s.samples.iter().all(|x| x.wall_s >= 0.0));
         }
     }
 }

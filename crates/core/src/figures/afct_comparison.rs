@@ -4,6 +4,7 @@
 //! The paper's point (§5.1.3): *small* buffers make short flows complete
 //! *faster*, because queueing delay drops while utilization stays high.
 
+use crate::exec::Executor;
 use crate::report::Table;
 use crate::runner::{MixScenario, LongFlowScenario};
 use tcpsim::TcpConfig;
@@ -105,12 +106,25 @@ impl AfctComparisonConfig {
         }
     }
 
-    /// Runs both sides.
+    /// Runs both sides sequentially.
     pub fn run(&self) -> (AfctSide, AfctSide) {
-        (
-            self.run_side(BufferRule::SqrtN),
-            self.run_side(BufferRule::RuleOfThumb),
-        )
+        self.run_with(&Executor::sequential())
+    }
+
+    /// Runs both sides on `exec` — the two independent simulations run
+    /// concurrently when the executor has spare width. Identical results
+    /// to [`AfctComparisonConfig::run`] for any executor.
+    pub fn run_with(&self, exec: &Executor) -> (AfctSide, AfctSide) {
+        let mut sides = exec.run_cells(2, |i| {
+            self.run_side(if i == 0 {
+                BufferRule::SqrtN
+            } else {
+                BufferRule::RuleOfThumb
+            })
+        });
+        let rot = sides.pop().expect("two sides");
+        let sqrt_n = sides.pop().expect("two sides");
+        (sqrt_n, rot)
     }
 }
 

@@ -9,6 +9,7 @@
 //! testbed adds) and **SACK senders** — the loss recovery the testbed's
 //! real Linux stacks used. See DESIGN.md's substitution table.
 
+use crate::exec::Executor;
 use crate::report::Table;
 use crate::runner::LongFlowScenario;
 use simcore::{Rng, SimDuration};
@@ -68,40 +69,49 @@ impl GsrTableConfig {
         }
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep sequentially.
     pub fn run(&self) -> Vec<GsrRow> {
-        let mut rows = Vec::new();
+        self.run_with(&Executor::sequential())
+    }
+
+    /// Runs the sweep on `exec`: the `(n, multiple)` cells (each a clean
+    /// run plus a testbed-proxy run) fan out across workers. Identical
+    /// results to [`GsrTableConfig::run`] for any executor.
+    pub fn run_with(&self, exec: &Executor) -> Vec<GsrRow> {
+        let mut cells: Vec<(usize, f64)> = Vec::new();
         for &n in &self.flow_counts {
+            for &m in &self.multiples {
+                cells.push((n, m));
+            }
+        }
+        exec.map(&cells, |&(n, m)| {
             let mut scenario = self.base.clone();
             scenario.n_flows = n;
             let bdp = scenario.bdp_packets();
             let model = GaussianWindowModel::new(bdp, n);
-            for &m in &self.multiples {
-                let buffer = (m * bdp / (n as f64).sqrt()).round().max(1.0) as usize;
-                let mut clean = scenario.clone();
-                clean.buffer_pkts = buffer;
-                let sim = clean.run().utilization;
+            let buffer = (m * bdp / (n as f64).sqrt()).round().max(1.0) as usize;
+            let mut clean = scenario.clone();
+            clean.buffer_pkts = buffer;
+            let sim = clean.run().utilization;
 
-                // Testbed proxy: heterogeneous access rates (2.5x–20x the
-                // bottleneck), 1 ms send jitter, SACK hosts, different seed.
-                let mut proxy = scenario.clone();
-                proxy.buffer_pkts = buffer;
-                proxy.jitter = Some(SimDuration::from_millis(1));
-                proxy.seed = scenario.seed ^ 0xBEEF;
-                proxy.cc = traffic::bulk::CcKind::Sack;
-                let proxy_util = run_heterogeneous(&proxy);
+            // Testbed proxy: heterogeneous access rates (2.5x–20x the
+            // bottleneck), 1 ms send jitter, SACK hosts, different seed.
+            let mut proxy = scenario.clone();
+            proxy.buffer_pkts = buffer;
+            proxy.jitter = Some(SimDuration::from_millis(1));
+            proxy.seed = scenario.seed ^ 0xBEEF;
+            proxy.cc = traffic::bulk::CcKind::Sack;
+            let proxy_util = run_heterogeneous(&proxy);
 
-                rows.push(GsrRow {
-                    n,
-                    multiple: m,
-                    buffer_pkts: buffer,
-                    model: model.utilization(buffer as f64),
-                    sim,
-                    proxy: proxy_util,
-                });
+            GsrRow {
+                n,
+                multiple: m,
+                buffer_pkts: buffer,
+                model: model.utilization(buffer as f64),
+                sim,
+                proxy: proxy_util,
             }
-        }
-        rows
+        })
     }
 }
 

@@ -1,9 +1,10 @@
 //! Figure 7: minimum buffer required for a target utilization vs the
 //! number of long-lived flows, compared with `2T̄pC/√n`.
 
+use crate::exec::Executor;
 use crate::report::Table;
 use crate::runner::LongFlowScenario;
-use crate::search::min_buffer_for;
+use crate::search::min_buffer_for_par;
 use theory::GaussianWindowModel;
 
 /// One point of the Figure 7 curve.
@@ -59,36 +60,48 @@ impl MinBufferConfig {
         }
     }
 
-    /// Runs the sweep. The per-point search bisects over buffer sizes, one
-    /// full simulation per evaluation.
+    /// Runs the sweep sequentially. The per-point search bisects over
+    /// buffer sizes, one full simulation per evaluation.
     pub fn run(&self) -> Vec<MinBufferPoint> {
-        let mut out = Vec::new();
+        self.run_with(&Executor::sequential())
+    }
+
+    /// Runs the sweep on `exec`: the `(n, target)` cells fan out across
+    /// workers and each cell's bisection additionally speculates on the
+    /// leftover width (see [`min_buffer_for_par`]). Results are identical
+    /// to [`MinBufferConfig::run`] in content and order for any executor.
+    pub fn run_with(&self, exec: &Executor) -> Vec<MinBufferPoint> {
+        let mut cells: Vec<(usize, f64)> = Vec::new();
         for &n in &self.flow_counts {
             for &target in &self.targets {
-                let mut scenario = self.base.clone();
-                scenario.n_flows = n;
-                let bdp = scenario.bdp_packets();
-                let hi = bdp.ceil() as usize + 1;
-                let search = min_buffer_for(
-                    hi,
-                    |b| {
-                        let mut s = scenario.clone();
-                        s.buffer_pkts = b;
-                        s.run().utilization
-                    },
-                    |u| u >= target,
-                );
-                let model = GaussianWindowModel::new(bdp, n);
-                out.push(MinBufferPoint {
-                    n,
-                    target,
-                    measured_pkts: search.buffer_pkts,
-                    sqrt_n_rule_pkts: bdp / (n as f64).sqrt(),
-                    model_pkts: model.buffer_for_utilization(target.min(0.999_9)),
-                });
+                cells.push((n, target));
             }
         }
-        out
+        let inner = exec.split(cells.len());
+        exec.map(&cells, |&(n, target)| {
+            let mut scenario = self.base.clone();
+            scenario.n_flows = n;
+            let bdp = scenario.bdp_packets();
+            let hi = bdp.ceil() as usize + 1;
+            let search = min_buffer_for_par(
+                hi,
+                &inner,
+                |b| {
+                    let mut s = scenario.clone();
+                    s.buffer_pkts = b;
+                    s.run().utilization
+                },
+                |u| u >= target,
+            );
+            let model = GaussianWindowModel::new(bdp, n);
+            MinBufferPoint {
+                n,
+                target,
+                measured_pkts: search.buffer_pkts,
+                sqrt_n_rule_pkts: bdp / (n as f64).sqrt(),
+                model_pkts: model.buffer_for_utilization(target.min(0.999_9)),
+            }
+        })
     }
 }
 

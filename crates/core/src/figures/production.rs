@@ -7,6 +7,7 @@
 //! think times) — the same traffic shape Harpoon itself was calibrated to
 //! produce. See DESIGN.md's substitution table.
 
+use crate::exec::Executor;
 use crate::report::Table;
 use netsim::{DumbbellBuilder, QueueCapacity, Sim};
 use simcore::{Rng, SimDuration, SimTime};
@@ -144,24 +145,28 @@ impl ProductionConfig {
         (util, tput)
     }
 
-    /// Runs all buffer settings.
+    /// Runs all buffer settings sequentially.
     pub fn run(&self) -> Vec<ProductionRow> {
+        self.run_with(&Executor::sequential())
+    }
+
+    /// Runs all buffer settings on `exec`, one independent simulation per
+    /// buffer. Identical results to [`ProductionConfig::run`] for any
+    /// executor.
+    pub fn run_with(&self, exec: &Executor) -> Vec<ProductionRow> {
         let bdp = self.bdp_packets();
         let unit = bdp / (self.n_effective as f64).sqrt();
         let model = GaussianWindowModel::new(bdp, self.n_effective);
-        self.buffers
-            .iter()
-            .map(|&b| {
-                let (util, tput) = self.run_one(b);
-                ProductionRow {
-                    buffer_pkts: b,
-                    multiple: b as f64 / unit,
-                    throughput_mbps: tput,
-                    utilization: util,
-                    model: model.utilization(b as f64),
-                }
-            })
-            .collect()
+        exec.map(&self.buffers, |&b| {
+            let (util, tput) = self.run_one(b);
+            ProductionRow {
+                buffer_pkts: b,
+                multiple: b as f64 / unit,
+                throughput_mbps: tput,
+                utilization: util,
+                model: model.utilization(b as f64),
+            }
+        })
     }
 }
 

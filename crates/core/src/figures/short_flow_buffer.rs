@@ -6,9 +6,10 @@
 //! The headline property: the measured minimum buffer is (nearly)
 //! independent of the line rate — only load and burst sizes matter.
 
+use crate::exec::Executor;
 use crate::report::Table;
 use crate::runner::ShortFlowScenario;
-use crate::search::min_buffer_for;
+use crate::search::min_buffer_for_par;
 use theory::BurstModel;
 use traffic::FlowLengthDist;
 
@@ -85,30 +86,42 @@ impl ShortBufferConfig {
         s
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep sequentially.
     pub fn run(&self) -> Vec<ShortBufferPoint> {
-        let mut out = Vec::new();
+        self.run_with(&Executor::sequential())
+    }
+
+    /// Runs the sweep on `exec`: the `(rate, flow_len)` cells fan out
+    /// across workers, each cell's bisection speculating on the leftover
+    /// width. Identical results to [`ShortBufferConfig::run`] for any
+    /// executor.
+    pub fn run_with(&self, exec: &Executor) -> Vec<ShortBufferPoint> {
+        let mut cells: Vec<(u64, u64)> = Vec::new();
         for &rate in &self.rates {
             for &len in &self.flow_lengths {
-                // Reference: effectively infinite buffer.
-                let afct_inf = self.scenario(rate, len, 1_000_000).run().afct;
-                let threshold = afct_inf * (1.0 + self.afct_tolerance);
-                let search = min_buffer_for(
-                    self.search_hi,
-                    |b| self.scenario(rate, len, b).run().afct,
-                    |afct| afct > 0.0 && afct <= threshold,
-                );
-                let model = BurstModel::fixed(len, 2, self.base.cfg.max_window as u64);
-                out.push(ShortBufferPoint {
-                    rate_bps: rate,
-                    flow_len: len,
-                    afct_infinite: afct_inf,
-                    measured_pkts: search.buffer_pkts,
-                    model_pkts: model.min_buffer(self.load, self.model_tail_p),
-                });
+                cells.push((rate, len));
             }
         }
-        out
+        let inner = exec.split(cells.len());
+        exec.map(&cells, |&(rate, len)| {
+            // Reference: effectively infinite buffer.
+            let afct_inf = self.scenario(rate, len, 1_000_000).run().afct;
+            let threshold = afct_inf * (1.0 + self.afct_tolerance);
+            let search = min_buffer_for_par(
+                self.search_hi,
+                &inner,
+                |b| self.scenario(rate, len, b).run().afct,
+                |afct| afct > 0.0 && afct <= threshold,
+            );
+            let model = BurstModel::fixed(len, 2, self.base.cfg.max_window as u64);
+            ShortBufferPoint {
+                rate_bps: rate,
+                flow_len: len,
+                afct_infinite: afct_inf,
+                measured_pkts: search.buffer_pkts,
+                model_pkts: model.min_buffer(self.load, self.model_tail_p),
+            }
+        })
     }
 }
 

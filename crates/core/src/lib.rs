@@ -32,25 +32,28 @@
 
 
 #![warn(missing_docs)]
+pub mod exec;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod search;
 pub mod sync;
 
+pub use exec::Executor;
 pub use runner::{
     LongFlowResult, LongFlowScenario, MixScenario, ShortFlowResult, ShortFlowScenario,
 };
-pub use search::{min_buffer_for, SearchResult};
+pub use search::{min_buffer_for, min_buffer_for_par, SearchResult};
 pub use sync::{pairwise_correlation, SyncReport};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
+    pub use crate::exec::Executor;
     pub use crate::figures;
     pub use crate::runner::{
         LongFlowResult, LongFlowScenario, MixScenario, ShortFlowResult, ShortFlowScenario,
     };
-    pub use crate::search::min_buffer_for;
+    pub use crate::search::{min_buffer_for, min_buffer_for_par};
     pub use crate::sync::pairwise_correlation;
     pub use simcore::{SimDuration, SimTime};
     pub use tcpsim::TcpConfig;

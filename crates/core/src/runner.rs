@@ -136,6 +136,11 @@ impl LongFlowScenario {
 
     fn build(&self) -> (Sim, netsim::Dumbbell, Vec<FlowHandle>) {
         let mut sim = Sim::new(self.seed);
+        // Steady state holds roughly one window of events per flow (data +
+        // ACK per in-flight segment, timers, deferred injections) plus the
+        // queued bottleneck packets; pre-size the event heap so it never
+        // reallocates mid-run.
+        sim.reserve_events(self.n_flows * 8 + self.buffer_pkts + 128);
         if let Some(j) = self.jitter {
             sim.set_send_jitter(j);
         }
@@ -184,8 +189,15 @@ impl LongFlowScenario {
             .mark(mark);
 
         let end = mark + self.measure;
-        let mut window_sum = Vec::new();
-        let mut per_flow: Vec<Vec<f64>> = vec![Vec::new(); handles.len()];
+        // Sample counts are known up front from measure/period: reserve the
+        // exact capacity so the sampling loop never reallocates.
+        let n_samples = sample_period.map_or(0, |p| {
+            (self.measure.as_nanos() / p.as_nanos().max(1)) as usize + 1
+        });
+        let mut window_sum = Vec::with_capacity(n_samples);
+        let mut per_flow: Vec<Vec<f64>> = (0..handles.len())
+            .map(|_| Vec::with_capacity(n_samples))
+            .collect();
         match sample_period {
             Some(period) => {
                 assert!(!period.is_zero());
@@ -256,7 +268,10 @@ impl LongFlowScenario {
 }
 
 /// Result of a [`LongFlowScenario`] run.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so determinism tests can assert *exact* equality of
+/// whole results across runs and across `--jobs` levels.
+#[derive(Clone, Debug, PartialEq)]
 pub struct LongFlowResult {
     /// Number of flows.
     pub n_flows: usize,
@@ -456,38 +471,21 @@ impl MixScenario {
             .flow_delays(delays)
             .build(&mut sim);
 
-        // Long flows on the first pairs.
-        let long_view = netsim::Dumbbell {
-            sources: dumbbell.sources[..self.long.n_flows].to_vec(),
-            sinks: dumbbell.sinks[..self.long.n_flows].to_vec(),
-            r1: dumbbell.r1,
-            r2: dumbbell.r2,
-            bottleneck: dumbbell.bottleneck,
-            reverse_bottleneck: dumbbell.reverse_bottleneck,
-            access_delays: dumbbell.access_delays[..self.long.n_flows].to_vec(),
-            bottleneck_delay: dumbbell.bottleneck_delay,
-            bottleneck_rate: dumbbell.bottleneck_rate,
-        };
+        // Long flows on the first pairs, short flows on the rest — borrowed
+        // slices of the one dumbbell, no per-run clones.
         let bulk = BulkWorkload {
             cfg: self.long.cfg,
             cc: self.long.cc,
             start_window: self.long.start_window,
             ..Default::default()
         };
-        let long_handles = bulk.install(&mut sim, &long_view, 0, &mut rng);
+        let long_handles = bulk.install(
+            &mut sim,
+            dumbbell.slice(0..self.long.n_flows),
+            0,
+            &mut rng,
+        );
 
-        // Short flows on the remaining pairs.
-        let short_view = netsim::Dumbbell {
-            sources: dumbbell.sources[self.long.n_flows..].to_vec(),
-            sinks: dumbbell.sinks[self.long.n_flows..].to_vec(),
-            r1: dumbbell.r1,
-            r2: dumbbell.r2,
-            bottleneck: dumbbell.bottleneck,
-            reverse_bottleneck: dumbbell.reverse_bottleneck,
-            access_delays: dumbbell.access_delays[self.long.n_flows..].to_vec(),
-            bottleneck_delay: dumbbell.bottleneck_delay,
-            bottleneck_rate: dumbbell.bottleneck_rate,
-        };
         let horizon = self.long.warmup + self.long.measure;
         let short_wl = ShortFlowWorkload {
             arrival_rate: arrival_rate_for_load(
@@ -500,8 +498,12 @@ impl MixScenario {
             cfg: self.short_cfg,
             horizon,
         };
-        let short_handles =
-            short_wl.install(&mut sim, &short_view, self.long.n_flows as u32, &mut rng);
+        let short_handles = short_wl.install(
+            &mut sim,
+            dumbbell.slice(self.long.n_flows..dumbbell.n_flows()),
+            self.long.n_flows as u32,
+            &mut rng,
+        );
 
         sim.start();
         sim.run_until(SimTime::ZERO + self.long.warmup);

@@ -40,10 +40,62 @@ pub struct Dumbbell {
     pub bottleneck_rate: u64,
 }
 
+/// A borrowed view of (a contiguous range of) a dumbbell's host pairs.
+///
+/// Workload installers only need the source/sink node ids (and the
+/// configured access delays) of the pairs they drive, so they accept
+/// `impl Into<DumbbellView>` — a `&Dumbbell` converts for free, and
+/// [`Dumbbell::slice`] carves out a sub-range without cloning the node-id
+/// vectors (the hot path for mixed long/short workloads, which previously
+/// rebuilt two full `Dumbbell` structs per run).
+#[derive(Clone, Copy, Debug)]
+pub struct DumbbellView<'a> {
+    /// Source hosts of the viewed pairs.
+    pub sources: &'a [NodeId],
+    /// Destination hosts of the viewed pairs.
+    pub sinks: &'a [NodeId],
+    /// One-way access propagation delays of the viewed pairs.
+    pub access_delays: &'a [SimDuration],
+}
+
+impl DumbbellView<'_> {
+    /// Number of host pairs in the view.
+    pub fn n_flows(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl<'a> From<&'a Dumbbell> for DumbbellView<'a> {
+    fn from(d: &'a Dumbbell) -> Self {
+        d.view()
+    }
+}
+
 impl Dumbbell {
     /// Number of flows (host pairs).
     pub fn n_flows(&self) -> usize {
         self.sources.len()
+    }
+
+    /// A borrowed view of every host pair.
+    pub fn view(&self) -> DumbbellView<'_> {
+        DumbbellView {
+            sources: &self.sources,
+            sinks: &self.sinks,
+            access_delays: &self.access_delays,
+        }
+    }
+
+    /// A borrowed view of the host pairs in `range` (e.g. the long-flow
+    /// pairs `0..n` and the short-flow pairs `n..` of a mixed scenario).
+    ///
+    /// Panics if `range` is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> DumbbellView<'_> {
+        DumbbellView {
+            sources: &self.sources[range.clone()],
+            sinks: &self.sinks[range.clone()],
+            access_delays: &self.access_delays[range],
+        }
     }
 
     /// Two-way propagation time (`2·Tp`) of flow `i`, excluding queueing.

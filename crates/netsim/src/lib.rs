@@ -39,7 +39,7 @@ pub mod red;
 pub mod sim;
 
 pub use auditor::Auditor;
-pub use builder::{Dumbbell, DumbbellBuilder};
+pub use builder::{Dumbbell, DumbbellBuilder, DumbbellView};
 pub use drr::Drr;
 pub use eventlog::{PacketEvent, PacketLog, PacketRecord};
 pub use link::Link;

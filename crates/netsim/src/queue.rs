@@ -62,11 +62,30 @@ pub struct DropTail {
     capacity: QueueCapacity,
 }
 
+/// Largest packet-count capacity [`DropTail::new`] pre-allocates for.
+///
+/// Real buffers under study are at most a few thousand packets, so sizing
+/// the ring up front removes every growth-reallocation from the hot
+/// enqueue path. "Effectively infinite" side buffers (e.g. the builder's
+/// 1M-packet default on access links) stay lazily allocated — a dumbbell
+/// has ~4 side links per flow and pre-allocating millions of slots each
+/// would cost hundreds of megabytes per run.
+const PREALLOC_LIMIT_PKTS: usize = 4096;
+
 impl DropTail {
     /// Creates a drop-tail queue with the given capacity.
+    ///
+    /// Packet-count capacities up to [`PREALLOC_LIMIT_PKTS`] are allocated
+    /// up front so the queue never reallocates while the simulation runs.
     pub fn new(capacity: QueueCapacity) -> Self {
+        let items = match capacity {
+            QueueCapacity::Packets(p) if p <= PREALLOC_LIMIT_PKTS => {
+                std::collections::VecDeque::with_capacity(p)
+            }
+            _ => std::collections::VecDeque::new(),
+        };
         DropTail {
-            items: std::collections::VecDeque::new(),
+            items,
             bytes: 0,
             capacity,
         }

@@ -525,6 +525,17 @@ impl Sim {
         }
     }
 
+    /// Reserves event-queue capacity for at least `additional` more
+    /// pending events beyond the default.
+    ///
+    /// A pure performance hint: scenario drivers call this with an estimate
+    /// derived from the topology (≈ flows × in-flight window) so the event
+    /// heap reaches steady-state size without mid-run reallocation. Has no
+    /// effect on event ordering or results.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.kernel.events.reserve(additional);
+    }
+
     /// Enables trace recording (off by default).
     pub fn enable_tracing(&mut self) {
         self.kernel.trace = TraceSink::new(true);

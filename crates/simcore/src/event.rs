@@ -80,6 +80,15 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Reserves capacity for at least `additional` more pending events.
+    ///
+    /// Purely a performance hint (drivers call it with an estimate derived
+    /// from scenario parameters so the heap never reallocates mid-run); it
+    /// has no observable effect on scheduling order.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` to fire at `time`. Events at the same time fire in
     /// scheduling order.
     pub fn schedule(&mut self, time: SimTime, event: E) {

@@ -7,7 +7,7 @@
 //! relies on.
 
 use crate::workload::FlowHandle;
-use netsim::{Dumbbell, FlowId, Sim};
+use netsim::{DumbbellView, FlowId, Sim};
 use simcore::{Rng, SimDuration};
 use tcpsim::cc::{CongestionControl, Cubic, NewReno, Reno};
 use tcpsim::{SackSender, SenderMachine, TcpConfig, TcpSender, TcpSink, TcpSource};
@@ -78,14 +78,16 @@ impl Default for BulkWorkload {
 
 impl BulkWorkload {
     /// Installs one long-lived flow per dumbbell host pair. Flow ids are
-    /// `first_flow .. first_flow + n`.
-    pub fn install(
+    /// `first_flow .. first_flow + n`. Accepts a whole `&Dumbbell` or a
+    /// borrowed [`DumbbellView`] of some of its pairs.
+    pub fn install<'a>(
         &self,
         sim: &mut Sim,
-        dumbbell: &Dumbbell,
+        dumbbell: impl Into<DumbbellView<'a>>,
         first_flow: u32,
         rng: &mut Rng,
     ) -> Vec<FlowHandle> {
+        let dumbbell = dumbbell.into();
         let mut handles = Vec::with_capacity(dumbbell.n_flows());
         for i in 0..dumbbell.n_flows() {
             let flow = FlowId(first_flow + i as u32);

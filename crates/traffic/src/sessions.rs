@@ -16,7 +16,9 @@
 //! stale RTO from a finished transfer can never fire into the next one.
 
 use crate::workload::FlowHandle;
-use netsim::{Agent, Ctx, Dumbbell, FlowId, NodeId, Packet, PacketKind, Sim, TcpFlags, TcpHeader};
+use netsim::{
+    Agent, Ctx, DumbbellView, FlowId, NodeId, Packet, PacketKind, Sim, TcpFlags, TcpHeader,
+};
 use simcore::dist::Sample;
 use simcore::{Exponential, Pareto, Rng, SimDuration};
 use tcpsim::cc::Reno;
@@ -288,13 +290,16 @@ pub struct SessionWorkload {
 
 impl SessionWorkload {
     /// Installs the sessions round-robin over the dumbbell's host pairs.
-    pub fn install(
+    /// Accepts a whole `&Dumbbell` or a borrowed [`DumbbellView`] of some
+    /// of its pairs.
+    pub fn install<'a>(
         &self,
         sim: &mut Sim,
-        dumbbell: &Dumbbell,
+        dumbbell: impl Into<DumbbellView<'a>>,
         first_flow: u32,
         rng: &mut Rng,
     ) -> Vec<FlowHandle> {
+        let dumbbell = dumbbell.into();
         assert!(self.n_sessions > 0);
         let sizes = Pareto::with_mean(self.size_mean_segments, self.size_shape);
         let mut handles = Vec::with_capacity(self.n_sessions);

@@ -7,7 +7,7 @@
 //! pair diversity without needing a host pair per flow).
 
 use crate::workload::FlowHandle;
-use netsim::{Dumbbell, FlowId, Sim};
+use netsim::{DumbbellView, FlowId, Sim};
 use simcore::dist::Sample;
 use simcore::{Exponential, Pareto, Rng, SimDuration};
 use tcpsim::cc::Reno;
@@ -98,14 +98,16 @@ pub struct ShortFlowWorkload {
 impl ShortFlowWorkload {
     /// Installs the pre-sampled arrivals over the dumbbell's host pairs.
     /// Flow ids are allocated from `first_flow` upward; the return value
-    /// preserves arrival order.
-    pub fn install(
+    /// preserves arrival order. Accepts a whole `&Dumbbell` or a borrowed
+    /// [`DumbbellView`] of some of its pairs.
+    pub fn install<'a>(
         &self,
         sim: &mut Sim,
-        dumbbell: &Dumbbell,
+        dumbbell: impl Into<DumbbellView<'a>>,
         first_flow: u32,
         rng: &mut Rng,
     ) -> Vec<FlowHandle> {
+        let dumbbell = dumbbell.into();
         assert!(self.arrival_rate > 0.0);
         let gap = Exponential::new(self.arrival_rate);
         let mut handles = Vec::new();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable perf baseline: builds release binaries,
+# runs the parallel-sweep benchmark (cell grid + full `repro --quick`) at
+# --jobs 1 vs --jobs N, and writes artifacts/BENCH_sweep.json. Fully
+# offline; run from anywhere inside the repo.
+#
+# Usage: scripts/bench.sh [jobs]   (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 1)}"
+
+echo "==> cargo build --release (bench binaries)"
+cargo build --release -p bench
+
+echo "==> bench_sweep --repro --jobs ${JOBS}"
+./target/release/bench_sweep --repro --jobs "${JOBS}" --out artifacts/BENCH_sweep.json
+
+echo "==> baseline written to artifacts/BENCH_sweep.json"

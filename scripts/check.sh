@@ -10,7 +10,10 @@ cargo build --workspace --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "==> cargo run -p simlint (determinism contract)"
+echo "==> parallel determinism (--jobs 1 vs --jobs 4 sweeps)"
+cargo test -q --release --test parallel_determinism
+
+echo "==> cargo run -p simlint (determinism contract, incl. crates/core)"
 cargo run -q --release -p simlint
 
 echo "==> all checks passed"

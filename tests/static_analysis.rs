@@ -29,7 +29,13 @@ fn determinism_contract_has_zero_violations() {
 fn contract_coverage_is_complete() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
-    for root_dir in ["crates/simcore", "crates/netsim", "crates/tcpsim", "crates/traffic"] {
+    for root_dir in [
+        "crates/simcore",
+        "crates/netsim",
+        "crates/tcpsim",
+        "crates/traffic",
+        "crates/core",
+    ] {
         assert!(
             cfg.roots.iter().any(|r| r == root_dir),
             "simlint.toml no longer scans {root_dir}"
@@ -39,4 +45,72 @@ fn contract_coverage_is_complete() {
         assert!(cfg.rule(rule).enabled, "rule {} disabled", rule.name());
         assert!(!cfg.rule(rule).skip_tests, "rule {} skips tests", rule.name());
     }
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The driver crate carries exactly one file-level waiver: the
+/// `allow-file(wall-clock)` in `exec.rs` that sanctions the sweep worker
+/// pool. It must stay module-scoped — any new `allow-file` anywhere else in
+/// `crates/core`, or a second rule waived in `exec.rs`, fails here so the
+/// waiver cannot quietly widen into a crate-wide exemption.
+#[test]
+fn executor_waiver_is_module_scoped() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates/core"), &mut files);
+    assert!(!files.is_empty(), "crates/core sources not found");
+
+    let mut waivers: Vec<(String, String)> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable source");
+        for line in text.lines() {
+            if let Some(rest) = line.split("simlint: allow-file(").nth(1) {
+                let rule = rest.split(')').next().unwrap_or("").to_string();
+                let rel = path.strip_prefix(root).expect("under repo root");
+                waivers.push((rel.display().to_string(), rule));
+            }
+        }
+    }
+    assert_eq!(
+        waivers,
+        vec![(
+            "crates/core/src/exec.rs".to_string(),
+            "wall-clock".to_string()
+        )],
+        "file-level waivers in crates/core changed; the executor waiver \
+         must remain the only one, scoped to exec.rs and wall-clock"
+    );
+
+    // The waiver must precede all code in exec.rs (file waivers only apply
+    // to later lines, so a buried waiver would silently not cover the pool).
+    let exec_src =
+        std::fs::read_to_string(root.join("crates/core/src/exec.rs")).expect("exec.rs readable");
+    let waiver_line = exec_src
+        .lines()
+        .position(|l| l.contains("simlint: allow-file(wall-clock)"))
+        .expect("waiver present");
+    let first_code_line = exec_src
+        .lines()
+        .position(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//")
+        })
+        .expect("exec.rs has code");
+    assert!(
+        waiver_line < first_code_line,
+        "the wall-clock waiver (line {}) must come before the first code \
+         line ({}) so it covers the whole module",
+        waiver_line + 1,
+        first_code_line + 1
+    );
 }
