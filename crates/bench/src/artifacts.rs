@@ -1,0 +1,120 @@
+//! Artifact I/O: the JSON documents the figure binaries write under
+//! `artifacts/` and the `report` binary reads back.
+//!
+//! Every document has the shape `{ "manifest": {...}, <data keys> }` — the
+//! [`RunManifest`] carries seed, scale, parameters, crate versions and
+//! content digests, so each file is self-describing provenance-wise (see
+//! DESIGN.md §9). The single-flow figures additionally write a
+//! `<name>.telemetry.jsonl` sidecar with the raw telemetry time series.
+//!
+//! All writers are deterministic for fixed seeds: re-running a generator
+//! reproduces its artifact byte-for-byte, at any `--jobs` level.
+
+use buffersizing::figures::single_flow::{SingleFlowConfig, SingleFlowTrace};
+use buffersizing::{Json, RunManifest};
+use std::path::PathBuf;
+
+/// Repository root, resolved from this crate's location at compile time so
+/// the binaries work from any working directory.
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// The `artifacts/` directory at the repository root.
+pub fn dir() -> PathBuf {
+    repo_root().join("artifacts")
+}
+
+/// Writes `artifacts/<manifest.artifact>.json` as
+/// `{ "manifest": ..., <data keys> }` and reports the path on stdout.
+pub fn write_artifact(manifest: &RunManifest, data: Json) -> PathBuf {
+    let mut doc = Json::obj().with("manifest", manifest.to_json());
+    match data {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                doc = doc.with(&k, v);
+            }
+        }
+        other => doc = doc.with("data", other),
+    }
+    let d = dir();
+    std::fs::create_dir_all(&d).unwrap_or_else(|e| panic!("creating {}: {e}", d.display()));
+    let path = d.join(format!("{}.json", manifest.artifact));
+    std::fs::write(&path, doc.render())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("(artifact written to {})", path.display());
+    path
+}
+
+/// Loads and parses `artifacts/<name>.json`, `None` when absent or
+/// unparseable (the report renders a "not yet generated" stub then).
+pub fn load(name: &str) -> Option<Json> {
+    let path = dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}
+
+/// Loads the telemetry sidecar `artifacts/<name>.telemetry.jsonl` as
+/// `(series name, values in time order)`, preserving first-seen series
+/// order. Empty when the sidecar is absent.
+pub fn load_series(name: &str) -> Vec<(String, Vec<f64>)> {
+    let path = dir().join(format!("{name}.telemetry.jsonl"));
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+    for line in text.lines() {
+        let Ok(j) = Json::parse(line) else { continue };
+        let (Some(series), Some(v)) = (j.str("series"), j.num("v")) else {
+            continue;
+        };
+        match out.iter_mut().find(|(n, _)| n == series) {
+            Some((_, vs)) => vs.push(v),
+            None => out.push((series.to_string(), vec![v])),
+        }
+    }
+    out
+}
+
+/// Writes the full artifact pair for one single-flow figure (3, 4 or 5):
+/// the summary JSON plus the telemetry JSONL sidecar.
+pub fn write_single_flow(name: &str, quick: bool, cfg: &SingleFlowConfig, tr: &SingleFlowTrace) {
+    let manifest = RunManifest::new(name, quick, cfg.seed)
+        .param("buffer_factor", cfg.buffer_factor)
+        .param("rate_bps", cfg.rate_bps)
+        .param("two_way_prop_ms", cfg.two_way_prop.as_millis_f64())
+        .param("duration_s", cfg.duration.as_secs_f64())
+        .param("warmup_s", cfg.warmup.as_secs_f64())
+        .telemetry(tr.telemetry_digest);
+    let data = Json::obj()
+        .with("bdp_packets", Json::Num(tr.bdp_packets))
+        .with("buffer_pkts", Json::Num(tr.buffer_pkts as f64))
+        .with("utilization", Json::Num(tr.utilization))
+        .with("queue_empty_fraction", Json::Num(tr.queue_empty_fraction()))
+        .with("fast_retransmits", Json::Num(tr.fast_retransmits as f64))
+        .with("timeouts", Json::Num(tr.timeouts as f64));
+    write_artifact(&manifest, data);
+    let sidecar = dir().join(format!("{name}.telemetry.jsonl"));
+    std::fs::write(&sidecar, &tr.telemetry_jsonl)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", sidecar.display()));
+    println!("(telemetry written to {})", sidecar.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+        assert!(dir().ends_with("artifacts"));
+    }
+
+    #[test]
+    fn load_missing_artifact_is_none() {
+        assert!(load("no_such_artifact_xyz").is_none());
+        assert!(load_series("no_such_artifact_xyz").is_empty());
+    }
+}

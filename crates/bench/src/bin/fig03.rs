@@ -15,4 +15,5 @@ fn main() {
         "queue-empty sample fraction: {:.3} (should be near zero but > 0: the buffer 'just' never runs dry)",
         tr.queue_empty_fraction()
     );
+    bench::artifacts::write_single_flow("fig03", quick, &cfg, &tr);
 }

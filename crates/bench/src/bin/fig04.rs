@@ -15,4 +15,5 @@ fn main() {
         "queue-empty sample fraction: {:.3} (link goes idle; throughput lost)",
         tr.queue_empty_fraction()
     );
+    bench::artifacts::write_single_flow("fig04", quick, &cfg, &tr);
 }

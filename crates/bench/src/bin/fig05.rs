@@ -15,4 +15,5 @@ fn main() {
         "queue-empty sample fraction: {:.3} (buffer never empties; queueing delay permanently higher)",
         tr.queue_empty_fraction()
     );
+    bench::artifacts::write_single_flow("fig05", quick, &cfg, &tr);
 }

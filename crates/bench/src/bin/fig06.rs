@@ -1,6 +1,7 @@
 //! Regenerates Figure 6: distribution of the aggregate congestion window
 //! and its Gaussian approximation.
 use buffersizing::figures::window_dist::WindowDistConfig;
+use buffersizing::{Json, RunManifest};
 
 fn main() {
     let quick = bench::quick_flag();
@@ -16,4 +17,15 @@ fn main() {
         "coefficient of variation: {:.4} (CLT: shrinks like 1/sqrt(n))",
         r.cv()
     );
+    let manifest = RunManifest::new("fig06", quick, cfg.scenario.seed)
+        .param("n_flows", r.n_flows)
+        .param("sample_period_ms", cfg.sample_period.as_millis_f64());
+    let data = Json::obj()
+        .with("n_flows", Json::Num(r.n_flows as f64))
+        .with("utilization", Json::Num(r.utilization))
+        .with("cv", Json::Num(r.cv()))
+        .with("distance", Json::Num(r.distance))
+        .with("fit_mean", Json::Num(r.fit.mean))
+        .with("fit_std", Json::Num(r.fit.std));
+    bench::artifacts::write_artifact(&manifest, data);
 }

@@ -3,7 +3,7 @@
 //! `--jobs N` parallelizes the sweep (default: all cores; results are
 //! identical at any jobs level).
 use buffersizing::figures::min_buffer::{render, MinBufferConfig};
-use buffersizing::Executor;
+use buffersizing::{Executor, Json, RunManifest};
 
 fn main() {
     let quick = bench::quick_flag();
@@ -18,4 +18,19 @@ fn main() {
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::min_buffer::to_table(&pts).to_csv());
     }
+    let manifest = RunManifest::new("fig07", quick, cfg.base.seed)
+        .param("flow_counts", format!("{:?}", cfg.flow_counts))
+        .param("targets", format!("{:?}", cfg.targets));
+    let rows = pts
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("n", Json::Num(p.n as f64))
+                .with("target", Json::Num(p.target))
+                .with("measured_pkts", Json::Num(p.measured_pkts as f64))
+                .with("rule_pkts", Json::Num(p.sqrt_n_rule_pkts))
+                .with("model_pkts", Json::Num(p.model_pkts))
+        })
+        .collect();
+    bench::artifacts::write_artifact(&manifest, Json::obj().with("rows", Json::Arr(rows)));
 }

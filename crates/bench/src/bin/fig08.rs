@@ -3,7 +3,7 @@
 //! `--jobs N` parallelizes the sweep (default: all cores; results are
 //! identical at any jobs level).
 use buffersizing::figures::short_flow_buffer::{render, ShortBufferConfig};
-use buffersizing::Executor;
+use buffersizing::{Executor, Json, RunManifest};
 
 fn main() {
     let quick = bench::quick_flag();
@@ -21,4 +21,21 @@ fn main() {
             &buffersizing::figures::short_flow_buffer::to_table(&pts).to_csv(),
         );
     }
+    let manifest = RunManifest::new("fig08", quick, cfg.base.seed)
+        .param("rates", format!("{:?}", cfg.rates))
+        .param("flow_lengths", format!("{:?}", cfg.flow_lengths))
+        .param("load", cfg.load)
+        .param("afct_tolerance", cfg.afct_tolerance);
+    let rows = pts
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("rate_bps", Json::Num(p.rate_bps as f64))
+                .with("flow_len", Json::Num(p.flow_len as f64))
+                .with("afct_infinite_s", Json::Num(p.afct_infinite))
+                .with("measured_pkts", Json::Num(p.measured_pkts as f64))
+                .with("model_pkts", Json::Num(p.model_pkts))
+        })
+        .collect();
+    bench::artifacts::write_artifact(&manifest, Json::obj().with("rows", Json::Arr(rows)));
 }

@@ -1,8 +1,31 @@
 //! Regenerates Figure 9: short-flow AFCT with BDP/sqrt(n) vs BDP buffers.
 //! `--jobs N` runs the two sides concurrently (default: all cores;
 //! results are identical at any jobs level).
-use buffersizing::figures::afct_comparison::{render, AfctComparisonConfig};
-use buffersizing::Executor;
+use buffersizing::figures::afct_comparison::{render, AfctComparisonConfig, AfctSide};
+use buffersizing::{Executor, Json, RunManifest};
+
+/// One side of the comparison as artifact JSON.
+fn side_json(s: &AfctSide) -> Json {
+    Json::obj()
+        .with("buffer_pkts", Json::Num(s.buffer_pkts as f64))
+        .with("utilization", Json::Num(s.utilization))
+        .with("afct_s", Json::Num(s.afct))
+        .with(
+            "by_length",
+            Json::Arr(
+                s.by_length
+                    .iter()
+                    .map(|&(len, afct, count)| {
+                        Json::Arr(vec![
+                            Json::Num(len as f64),
+                            Json::Num(afct),
+                            Json::Num(count as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )
+}
 
 fn main() {
     let quick = bench::quick_flag();
@@ -14,4 +37,12 @@ fn main() {
     };
     let (sqrt_n, rot) = cfg.run_with(&Executor::new(bench::jobs_flag()));
     println!("{}", render(&sqrt_n, &rot));
+    let manifest = RunManifest::new("fig09", quick, cfg.long.seed)
+        .param("n_long_flows", cfg.long.n_flows)
+        .param("short_load", cfg.short_load)
+        .param("short_host_pairs", cfg.short_host_pairs);
+    let data = Json::obj()
+        .with("sqrt_n", side_json(&sqrt_n))
+        .with("rule_of_thumb", side_json(&rot));
+    bench::artifacts::write_artifact(&manifest, data);
 }

@@ -1,0 +1,32 @@
+//! Regenerates RESULTS.md from the JSON artifacts in `artifacts/`.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin report            # rewrite RESULTS.md
+//!   cargo run --release -p bench --bin report -- --check # fail if stale
+//!
+//! The output is a pure function of the artifact files (no timestamps, no
+//! machine context), so repeated runs — and runs over artifacts produced at
+//! different `--jobs` levels — are byte-identical. `--check` is the CI
+//! drift gate wired into `scripts/check.sh`.
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let path = bench::artifacts::repo_root().join("RESULTS.md");
+    let fresh = bench::results::generate();
+    if check {
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_default();
+        if on_disk == fresh {
+            println!("RESULTS.md is up to date with artifacts/");
+        } else {
+            eprintln!(
+                "RESULTS.md is out of date with artifacts/ — regenerate it with\n  \
+                 cargo run --release -p bench --bin report"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&path, &fresh)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("RESULTS.md regenerated ({} bytes)", fresh.len());
+    }
+}

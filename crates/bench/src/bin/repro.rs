@@ -1,4 +1,5 @@
-//! Runs every artifact regeneration in sequence (the full reproduction).
+//! Runs every artifact regeneration in sequence (the full reproduction),
+//! then rebuilds RESULTS.md from the fresh artifacts via `report`.
 //! Pass --quick for a smoke pass; --jobs N forwards the worker count to
 //! every parallel-capable binary (default: all cores).
 use std::process::Command;
@@ -9,7 +10,7 @@ fn main() {
     let bins = [
         "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "table10", "table11",
         "ext_sync", "ext_loss", "ext_highrate", "ext_pacing", "ext_multihop",
-        "ext_ablation",
+        "ext_ablation", "report",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

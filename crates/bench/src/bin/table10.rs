@@ -3,7 +3,7 @@
 //! `--jobs N` parallelizes the sweep (default: all cores; results are
 //! identical at any jobs level).
 use buffersizing::figures::gsr_table::{render, GsrTableConfig};
-use buffersizing::Executor;
+use buffersizing::{Executor, Json, RunManifest};
 
 fn main() {
     let quick = bench::quick_flag();
@@ -23,4 +23,23 @@ fn main() {
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::gsr_table::to_table(&rows).to_csv());
     }
+    let manifest = RunManifest::new("table10", quick, cfg.base.seed)
+        .param("flow_counts", format!("{:?}", cfg.flow_counts))
+        .param("multiples", format!("{:?}", cfg.multiples));
+    let json_rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .with("n", Json::Num(r.n as f64))
+                .with("multiple", Json::Num(r.multiple))
+                .with("buffer_pkts", Json::Num(r.buffer_pkts as f64))
+                .with("model", Json::Num(r.model))
+                .with("sim", Json::Num(r.sim))
+                .with("proxy", Json::Num(r.proxy))
+        })
+        .collect();
+    let data = Json::obj()
+        .with("bdp_packets", Json::Num(bdp))
+        .with("rows", Json::Arr(json_rows));
+    bench::artifacts::write_artifact(&manifest, data);
 }

@@ -2,7 +2,7 @@
 //! `--jobs N` parallelizes the buffer sweep (default: all cores; results
 //! are identical at any jobs level).
 use buffersizing::figures::production::{render, ProductionConfig};
-use buffersizing::Executor;
+use buffersizing::{Executor, Json, RunManifest};
 
 fn main() {
     let quick = bench::quick_flag();
@@ -17,4 +17,21 @@ fn main() {
     if let Some(path) = bench::csv_flag() {
         bench::write_csv(&path, &buffersizing::figures::production::to_table(&rows).to_csv());
     }
+    let manifest = RunManifest::new("table11", quick, cfg.seed)
+        .param("rate_bps", cfg.rate_bps)
+        .param("buffers", format!("{:?}", cfg.buffers))
+        .param("n_sessions", cfg.n_sessions)
+        .param("n_effective", cfg.n_effective);
+    let json_rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .with("buffer_pkts", Json::Num(r.buffer_pkts as f64))
+                .with("multiple", Json::Num(r.multiple))
+                .with("throughput_mbps", Json::Num(r.throughput_mbps))
+                .with("utilization", Json::Num(r.utilization))
+                .with("model", Json::Num(r.model))
+        })
+        .collect();
+    bench::artifacts::write_artifact(&manifest, Json::obj().with("rows", Json::Arr(json_rows)));
 }

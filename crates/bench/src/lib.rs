@@ -20,6 +20,12 @@
 //! | `ext_multihop` | two congested hops (parking lot ablation) |
 //! | `ext_ablation` | which ingredients create desynchronization |
 //! | `repro` | run everything |
+//! | `report` | regenerate RESULTS.md from `artifacts/*.json` |
+//!
+//! The figure/table binaries additionally write a manifest-stamped JSON
+//! artifact (see [`artifacts`]) that the `report` binary turns into
+//! RESULTS.md (see [`results`]); `report --check` exits non-zero when
+//! RESULTS.md is stale, which `scripts/check.sh` uses as a drift gate.
 //!
 //! Every binary accepts `--quick` for a seconds-scale smoke run; the
 //! default is the paper-scale parameterisation. The benches in `benches/`
@@ -29,6 +35,9 @@
 
 
 #![warn(missing_docs)]
+pub mod artifacts;
+pub mod results;
+
 /// True when `--quick` was passed on the command line.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")

@@ -3,8 +3,8 @@
 //! over-buffered routers.
 
 use crate::report::ascii_plot;
-use netsim::{DumbbellBuilder, QueueCapacity, Sim};
-use simcore::{SimDuration, SimTime};
+use netsim::{DumbbellBuilder, QueueCapacity, Sim, TelemetryConfig};
+use simcore::{SimDuration, SimTime, TracePoint};
 use stats::TimeSeries;
 use tcpsim::cc::Reno;
 use tcpsim::{TcpConfig, TcpSink, TcpSource};
@@ -85,6 +85,14 @@ impl SingleFlowConfig {
 
         sim.kernel_mut().link_mut(d.bottleneck).sample_queue = true;
         sim.enable_queue_sampling(self.two_way_prop / 20);
+        // Telemetry rides along at a coarser interval than the queue trace:
+        // ~384 samples over the traced window is plenty for the sparklines
+        // and digests RESULTS.md embeds, and the 512-slot rings never evict.
+        let interval = (self.warmup + self.duration) / 384;
+        sim.enable_telemetry(
+            TelemetryConfig::new(interval.max(SimDuration::from_micros(1)))
+                .with_ring_capacity(512),
+        );
 
         sim.start();
         let t0 = SimTime::ZERO + self.warmup;
@@ -113,6 +121,16 @@ impl SingleFlowConfig {
             .expect("source")
             .sender()
             .stats();
+        let (telemetry, telemetry_digest, telemetry_jsonl) = match sim.telemetry() {
+            Some(tel) => {
+                let series = tel
+                    .iter()
+                    .map(|(name, ring)| (name.to_string(), ring.iter().copied().collect()))
+                    .collect();
+                (series, Some(tel.digest()), tel.to_jsonl())
+            }
+            None => (Vec::new(), None, String::new()),
+        };
 
         SingleFlowTrace {
             bdp_packets: self.bdp_packets(),
@@ -122,6 +140,9 @@ impl SingleFlowConfig {
             queue,
             fast_retransmits: sender_stats.fast_retransmits,
             timeouts: sender_stats.timeouts,
+            telemetry,
+            telemetry_digest,
+            telemetry_jsonl,
         }
     }
 }
@@ -143,6 +164,15 @@ pub struct SingleFlowTrace {
     pub fast_retransmits: u64,
     /// Timeouts during the run.
     pub timeouts: u64,
+    /// Telemetry time series (name → samples), covering the whole run
+    /// including warm-up: queue occupancy, link utilization, drop counts,
+    /// cwnd and RTT gauges.
+    pub telemetry: Vec<(String, Vec<TracePoint>)>,
+    /// FNV-1a digest of the telemetry store — the value the run manifest
+    /// records.
+    pub telemetry_digest: Option<u64>,
+    /// Telemetry export as JSON Lines, one sample per line.
+    pub telemetry_jsonl: String,
 }
 
 impl SingleFlowTrace {
@@ -238,5 +268,21 @@ mod tests {
         assert!(s.contains("W(t)"));
         assert!(s.contains("Q(t)"));
         assert!(s.contains("Figure 3"));
+    }
+
+    #[test]
+    fn telemetry_series_cover_link_and_flow() {
+        let tr = SingleFlowConfig::quick(1.0).run();
+        let names: Vec<&str> = tr.telemetry.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"cwnd.0"), "names = {names:?}");
+        assert!(names.iter().any(|n| n.starts_with("queue.")));
+        assert!(names.iter().any(|n| n.starts_with("util.")));
+        assert!(tr.telemetry_digest.is_some());
+        // JSONL export has one line per retained sample.
+        let samples: usize = tr.telemetry.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(tr.telemetry_jsonl.lines().count(), samples);
+        // Deterministic: same config, same digest.
+        let again = SingleFlowConfig::quick(1.0).run();
+        assert_eq!(tr.telemetry_digest, again.telemetry_digest);
     }
 }

@@ -34,12 +34,16 @@
 #![warn(missing_docs)]
 pub mod exec;
 pub mod figures;
+pub mod json;
+pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod search;
 pub mod sync;
 
 pub use exec::Executor;
+pub use json::Json;
+pub use manifest::RunManifest;
 pub use runner::{
     LongFlowResult, LongFlowScenario, MixScenario, ShortFlowResult, ShortFlowScenario,
 };

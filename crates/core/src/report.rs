@@ -60,18 +60,29 @@ impl Table {
     }
 
     /// Renders the table to a string.
+    ///
+    /// Column widths count *characters*, not bytes: cells like `"μ=1.5"`
+    /// or `"RTT̄·C"` would otherwise report an inflated `len()` and push
+    /// their column out of alignment.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let chars = |s: &str| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| chars(h)).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(chars(c));
             }
         }
         let mut out = String::new();
         let line = |out: &mut String, cells: &[String]| {
             for (i, c) in cells.iter().enumerate() {
-                out.push_str(&format!("{:>width$}", c, width = widths[i]));
+                // Right-align by hand: format!'s width specifier also pads
+                // by chars, but counting explicitly keeps the invariant in
+                // one place with the width computation above.
+                for _ in 0..widths[i].saturating_sub(chars(c)) {
+                    out.push(' ');
+                }
+                out.push_str(c);
                 if i + 1 < ncols {
                     out.push_str("  ");
                 }
@@ -139,6 +150,47 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// ASCII intensity ramp used by [`sparkline`], dimmest to brightest.
+const SPARK_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders `values` as a one-line ASCII sparkline of `width` characters.
+///
+/// Values are bucketed to `width` (mean per bucket), normalized to the
+/// series' min..max range, and mapped onto a 10-level intensity ramp —
+/// enough to show the sawtooth/plateau shapes RESULTS.md embeds next to
+/// each figure without a full plot. Returns `"(no data)"` for an empty
+/// series; a constant series renders at mid-intensity.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    assert!(width > 0);
+    if values.is_empty() {
+        return "(no data)".to_string();
+    }
+    let width = width.min(values.len());
+    // Mean per bucket, splitting the series evenly.
+    let mut buckets = Vec::with_capacity(width);
+    for b in 0..width {
+        let lo = b * values.len() / width;
+        let hi = ((b + 1) * values.len() / width).max(lo + 1);
+        let slice = &values[lo..hi];
+        buckets.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let min = buckets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    let levels = SPARK_RAMP.len();
+    buckets
+        .iter()
+        .map(|&v| {
+            let idx = if span.abs() < 1e-12 {
+                levels / 2
+            } else {
+                (((v - min) / span) * (levels - 1) as f64).round() as usize
+            };
+            SPARK_RAMP[idx.min(levels - 1)] as char
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +249,42 @@ mod tests {
     fn pct_format() {
         assert_eq!(pct(0.969), "96.9%");
         assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn table_aligns_non_ascii_cells_by_char_count() {
+        // Regression: widths used byte `len()`, so multi-byte cells like
+        // "μ=1.5" (6 chars, 7 bytes) or "RTT̄·C" got over-padded columns.
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["μ=1.5".into(), "1".into()]);
+        t.row(&["sigma".into(), "22".into()]);
+        t.row(&["RTT̄·C".into(), "333".into()]);
+        let s = t.render();
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        // Header, rule and every row line up to the same char width.
+        assert!(
+            widths.iter().all(|&w| w == widths[0]),
+            "ragged table:\n{s}"
+        );
+        // And the ASCII-only rule line matches that width in bytes too.
+        let rule = s.lines().nth(1).unwrap();
+        assert_eq!(rule.len(), widths[0]);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&ramp, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert!(s.starts_with(' ') && s.ends_with('@'));
+        // Constant series: mid-intensity, no panic.
+        let flat = sparkline(&[5.0; 40], 8);
+        assert_eq!(flat.chars().count(), 8);
+        assert!(flat.chars().all(|c| c == flat.chars().next().unwrap()));
+        // Degenerate inputs.
+        assert_eq!(sparkline(&[], 10), "(no data)");
+        assert_eq!(sparkline(&[1.0], 10).chars().count(), 1);
+        // Deterministic.
+        assert_eq!(sparkline(&ramp, 10), sparkline(&ramp, 10));
     }
 }

@@ -11,7 +11,7 @@
 //! plain result struct so figures/tables are just data transformations.
 
 use netsim::red::RedConfig;
-use netsim::{DumbbellBuilder, QueueCapacity, Red, Sim};
+use netsim::{DumbbellBuilder, QueueCapacity, Red, Sim, TelemetryConfig};
 use simcore::{Rng, SimDuration, SimTime};
 use stats::FctCollector;
 use tcpsim::{TcpConfig, TcpSink, TcpSource};
@@ -53,6 +53,11 @@ pub struct LongFlowScenario {
     pub start_window: SimDuration,
     /// Per-send random jitter (breaks simulator phase effects).
     pub jitter: Option<SimDuration>,
+    /// Deterministic run telemetry (bottleneck occupancy/utilization/drop
+    /// series plus per-flow cwnd/RTT gauges); `None` leaves it off. The
+    /// sampler is a pure read on the sim clock, so enabling it does not
+    /// change results — the result then carries a telemetry digest.
+    pub telemetry: Option<TelemetryConfig>,
     /// Master seed.
     pub seed: u64,
     /// Warm-up excluded from measurement.
@@ -77,6 +82,7 @@ impl LongFlowScenario {
             pacing: false,
             start_window: SimDuration::from_secs(5),
             jitter: Some(SimDuration::from_micros(100)),
+            telemetry: None,
             seed: 1,
             warmup: SimDuration::from_secs(20),
             measure: SimDuration::from_secs(60),
@@ -98,6 +104,7 @@ impl LongFlowScenario {
             pacing: false,
             start_window: SimDuration::from_secs(2),
             jitter: Some(SimDuration::from_micros(100)),
+            telemetry: None,
             seed: 1,
             warmup: SimDuration::from_secs(5),
             measure: SimDuration::from_secs(15),
@@ -159,6 +166,11 @@ impl LongFlowScenario {
                 ))));
         }
         let dumbbell = builder.build(&mut sim);
+        if let Some(tel) = &self.telemetry {
+            // Only the bottleneck is interesting; flag it for the sampler.
+            sim.kernel_mut().link_mut(dumbbell.bottleneck).sample_queue = true;
+            sim.enable_telemetry(tel.clone());
+        }
         let wl = BulkWorkload {
             cfg: self.cfg,
             cc: self.cc,
@@ -263,6 +275,7 @@ impl LongFlowScenario {
             fast_retransmits,
             window_sum_samples: window_sum,
             per_flow_window_samples: per_flow,
+            telemetry_digest: sim.telemetry().map(|t| t.digest()),
         }
     }
 }
@@ -301,6 +314,10 @@ pub struct LongFlowResult {
     pub window_sum_samples: Vec<f64>,
     /// Per-flow cwnd samples aligned with `window_sum_samples`.
     pub per_flow_window_samples: Vec<Vec<f64>>,
+    /// FNV-1a digest of the telemetry store (`None` unless the scenario
+    /// enabled telemetry). Byte-stable across repeated runs and `--jobs`
+    /// levels for a fixed seed.
+    pub telemetry_digest: Option<u64>,
 }
 
 /// Poisson-arrival short flows over a single bottleneck (§5.1.2).
@@ -635,6 +652,23 @@ mod tests {
         sc2.seed = 999;
         let c = sc2.run();
         assert_ne!(a.segments_sent, c.segments_sent);
+    }
+
+    #[test]
+    fn telemetry_is_a_pure_observer_with_stable_digest() {
+        let sc = LongFlowScenario::quick(4, 10_000_000);
+        let base = sc.run();
+        let mut sct = sc.clone();
+        sct.telemetry = Some(TelemetryConfig::new(SimDuration::from_millis(50)));
+        let a = sct.run();
+        let b = sct.run();
+        // Digest exists and is reproducible.
+        assert!(a.telemetry_digest.is_some());
+        assert_eq!(a.telemetry_digest, b.telemetry_digest);
+        // Enabling telemetry changes nothing but the digest field.
+        let mut masked = a.clone();
+        masked.telemetry_digest = None;
+        assert_eq!(masked, base);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Flow-synchronization measurement (§3).
 //!
 //! The paper argues that "in-phase synchronization is common for under 100
-//! concurrent flows [and] very rare above 500". We quantify synchronization
+//! concurrent flows \[and\] very rare above 500". We quantify synchronization
 //! as the **average pairwise correlation** of the per-flow congestion-window
 //! processes, recovered from the variance identity
 //!

@@ -3,13 +3,13 @@
 //! This crate is the "ns-2 lite" the reproduction of *Sizing Router Buffers*
 //! (SIGCOMM 2004) runs on: point-to-point links with finite rate and
 //! propagation delay, output queues (drop-tail and RED), static routing, and
-//! an [`Agent`](sim::Agent) API that protocol endpoints (TCP in `tcpsim`,
+//! an [`Agent`] API that protocol endpoints (TCP in `tcpsim`,
 //! UDP sources in `traffic`) implement.
 //!
 //! ## Model
 //!
 //! * A **node** is a host or router. Routers forward packets by destination
-//!   node id using a static [`RouteTable`](node::RouteTable); hosts deliver
+//!   node id using a static [`RouteTable`]; hosts deliver
 //!   packets to the agent registered for the packet's flow.
 //! * A **link** is unidirectional with a fixed `rate` (bits/s) and
 //!   propagation `delay`. Its output queue holds packets waiting for
@@ -24,7 +24,7 @@
 //! [`builder::DumbbellBuilder`].
 
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod auditor;
 pub mod builder;
 pub mod drr;
@@ -37,6 +37,7 @@ pub mod parking_lot;
 pub mod queue;
 pub mod red;
 pub mod sim;
+pub mod telemetry;
 
 pub use auditor::Auditor;
 pub use builder::{Dumbbell, DumbbellBuilder, DumbbellView};
@@ -50,3 +51,4 @@ pub use packet::{FlowId, Packet, PacketKind, SackBlocks, TcpFlags, TcpHeader};
 pub use queue::{DropTail, Queue, QueueCapacity};
 pub use red::Red;
 pub use sim::{Agent, AgentId, Ctx, LinkId, NodeId, Sim};
+pub use telemetry::{Telemetry, TelemetryConfig};

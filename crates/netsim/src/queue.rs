@@ -75,7 +75,7 @@ const PREALLOC_LIMIT_PKTS: usize = 4096;
 impl DropTail {
     /// Creates a drop-tail queue with the given capacity.
     ///
-    /// Packet-count capacities up to [`PREALLOC_LIMIT_PKTS`] are allocated
+    /// Packet-count capacities up to `PREALLOC_LIMIT_PKTS` are allocated
     /// up front so the queue never reallocates while the simulation runs.
     pub fn new(capacity: QueueCapacity) -> Self {
         let items = match capacity {

@@ -3,7 +3,7 @@
 //! The paper's results are stated for drop-tail but §5.1 notes "we expect our
 //! results to be valid for other queueing disciplines (e.g., RED) as well".
 //! This implementation follows Floyd & Jacobson 1993 (the paper's reference
-//! [9]): an EWMA of the queue length is compared against `min_th`/`max_th`;
+//! \[9\]): an EWMA of the queue length is compared against `min_th`/`max_th`;
 //! between the thresholds packets are dropped with a probability that rises
 //! linearly to `max_p` and is spread out by the "count" mechanism; above
 //! `max_th` every packet is dropped. The "gentle" variant (probability rises

@@ -21,6 +21,7 @@
 use crate::auditor::Auditor;
 use crate::eventlog::{PacketEvent, PacketLog, PacketRecord};
 use crate::link::Link;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::queue::QueueCapacity;
@@ -71,6 +72,12 @@ pub trait Agent {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    /// Telemetry probe, called on every telemetry sampling tick when flow
+    /// sampling is enabled (see [`Sim::enable_telemetry`]). Implementations
+    /// report gauge values via `emit` (e.g. `emit("cwnd.3", 12.0)`). Must
+    /// be a pure read of agent state: sampling may never perturb the
+    /// simulation (DESIGN.md §9).
+    fn on_telemetry(&self, _emit: &mut dyn FnMut(&str, f64)) {}
     /// Upcast for downcasting.
     fn as_any(&self) -> &dyn Any;
     /// Upcast for downcasting (mutable).
@@ -89,6 +96,8 @@ enum Event {
     Inject { node: NodeId, packet: Packet },
     /// Periodic queue-occupancy sampling.
     QueueSample { period: SimDuration },
+    /// Periodic telemetry sampling (links + agent gauges).
+    TelemetrySample { period: SimDuration },
 }
 
 /// Global kernel counters.
@@ -135,6 +144,7 @@ pub struct Kernel {
     send_jitter: Option<SimDuration>,
     packet_log: Option<PacketLog>,
     auditor: Option<Auditor>,
+    telemetry: Option<Telemetry>,
     /// Packets currently propagating (scheduled `Arrival` events). Kept
     /// unconditionally — it is one add/sub per packet — so the auditor can
     /// reconcile counters against structural state when enabled.
@@ -219,6 +229,19 @@ impl Kernel {
     /// The runtime auditor, if enabled.
     pub fn auditor(&self) -> Option<&Auditor> {
         self.auditor.as_ref()
+    }
+
+    /// The telemetry store, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Samples the link-level telemetry series for one tick.
+    fn telemetry_sample_links(&mut self) {
+        let now = self.now;
+        if let Some(tel) = &mut self.telemetry {
+            tel.sample_links(now, &self.links);
+        }
     }
 
     /// Sums the packets structurally inside the network right now: waiting
@@ -516,6 +539,7 @@ impl Sim {
                 send_jitter: None,
                 packet_log: None,
                 auditor: None,
+                telemetry: None,
                 pending_arrivals: 0,
                 pending_injects: 0,
                 last_inject: Vec::new(),
@@ -695,6 +719,24 @@ impl Sim {
                         .events
                         .schedule(self.kernel.now + period, Event::QueueSample { period });
                 }
+                Event::TelemetrySample { period } => {
+                    self.kernel.telemetry_sample_links();
+                    let now = self.kernel.now;
+                    // `kernel` and `agents` are disjoint fields, so the
+                    // agent reads can run while the telemetry store is
+                    // mutably borrowed.
+                    if let Some(tel) = self.kernel.telemetry.as_mut() {
+                        if tel.config().sample_flows {
+                            for slot in &self.agents {
+                                slot.agent
+                                    .on_telemetry(&mut |name, v| tel.record(name, now, v));
+                            }
+                        }
+                    }
+                    self.kernel
+                        .events
+                        .schedule(self.kernel.now + period, Event::TelemetrySample { period });
+                }
             }
             self.kernel.audit_check();
         }
@@ -707,6 +749,33 @@ impl Sim {
     pub fn run_for(&mut self, d: SimDuration) {
         let target = self.kernel.now + d;
         self.run_until(target);
+    }
+
+    /// Enables deterministic run telemetry (off by default): every
+    /// `config.interval` of *simulation* time, link occupancy/utilization/
+    /// drop series and per-agent gauges ([`Agent::on_telemetry`]) are
+    /// recorded into bounded ring buffers (see [`crate::telemetry`]).
+    ///
+    /// Sampling is a pure read driven by a kernel event — it consumes no
+    /// randomness and never mutates simulation state, so enabling it does
+    /// not change the outcome of a run. The first sample lands one interval
+    /// after the call.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        let period = config.interval;
+        assert!(!period.is_zero());
+        assert!(
+            self.kernel.telemetry.is_none(),
+            "enable_telemetry() called twice"
+        );
+        self.kernel.telemetry = Some(Telemetry::new(config));
+        self.kernel
+            .events
+            .schedule(self.kernel.now + period, Event::TelemetrySample { period });
+    }
+
+    /// The telemetry store, if [`Sim::enable_telemetry`] was called.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.kernel.telemetry()
     }
 
     /// Enables periodic queue sampling (links opt in via
@@ -1032,6 +1101,65 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn telemetry_samples_flagged_link_series() {
+        use crate::telemetry::TelemetryConfig;
+        let (mut sim, h0, h1, lid) = two_host_sim(100);
+        sim.kernel_mut().link_mut(lid).sample_queue = true;
+        sim.enable_telemetry(TelemetryConfig::new(SimDuration::from_millis(10)));
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 100,
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_millis(500));
+        let tel = sim.telemetry().expect("enabled");
+        assert_eq!(tel.names(), vec!["drops.l01", "queue.l01", "util.l01"]);
+        let queue = tel.series("queue.l01").unwrap();
+        assert_eq!(queue.len(), 50);
+        assert!(queue.iter().any(|p| p.value > 10.0));
+        // The link serializes back-to-back packets: mid-run utilization
+        // intervals are fully busy.
+        let util = tel.series("util.l01").unwrap();
+        assert!(util.iter().any(|p| p.value > 0.99));
+        assert!(util.iter().all(|p| p.value <= 1.0));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_run() {
+        use crate::telemetry::TelemetryConfig;
+        let run = |telemetry: bool| -> Vec<SimTime> {
+            let (mut sim, h0, h1, lid) = two_host_sim(5);
+            sim.set_send_jitter(SimDuration::from_micros(100));
+            if telemetry {
+                sim.kernel_mut().link_mut(lid).sample_queue = true;
+                sim.enable_telemetry(TelemetryConfig::new(SimDuration::from_millis(3)));
+            }
+            let src = UdpSource {
+                flow: FlowId(0),
+                dst: h1,
+                count: 50,
+                size: 500,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            };
+            sim.add_agent(h0, Box::new(src));
+            let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+            sim.bind_flow(FlowId(0), h1, sink_id);
+            sim.start();
+            sim.run_until(SimTime::from_secs(1));
+            sim.agent_as::<UdpSink>(sink_id).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! `tcpsim` crates; `simcore` knows nothing about packets.
 
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod dist;
 pub mod event;
 pub mod rng;
@@ -32,3 +32,4 @@ pub use dist::{Exponential, LogNormal, Normal, Pareto, Uniform, Weibull};
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Ring, TracePoint, TraceSink};

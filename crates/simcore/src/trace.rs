@@ -78,9 +78,104 @@ impl TraceSink {
     }
 }
 
+/// A bounded ring of trace samples.
+///
+/// Keeps the most recent `capacity` points in insertion (= time) order while
+/// counting everything ever pushed, so long runs record at O(1) memory per
+/// series and the telemetry layer can still report how much was seen. Used
+/// by `netsim`'s telemetry sampler.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    cap: usize,
+    data: Vec<TracePoint>,
+    /// Index of the oldest sample once the ring has wrapped.
+    head: usize,
+    pushed: u64,
+}
+
+impl Ring {
+    /// Creates an empty ring holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            cap: capacity,
+            data: Vec::new(),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest one when full.
+    pub fn push(&mut self, point: TracePoint) {
+        if self.data.len() < self.cap {
+            self.data.push(point);
+        } else {
+            self.data[self.head] = point;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.pushed += 1;
+    }
+
+    /// Number of samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterates over the retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TracePoint> {
+        self.data[self.head..].iter().chain(self.data[..self.head].iter())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = Ring::new(4);
+        assert!(r.is_empty());
+        for i in 0..10u64 {
+            r.push(TracePoint {
+                time: SimTime::from_millis(i),
+                value: i as f64,
+            });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.total_pushed(), 10);
+        let vals: Vec<f64> = r.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn ring_below_capacity_is_fifo() {
+        let mut r = Ring::new(8);
+        for i in 0..3u64 {
+            r.push(TracePoint {
+                time: SimTime::from_millis(i),
+                value: i as f64,
+            });
+        }
+        let vals: Vec<f64> = r.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+        assert_eq!(r.total_pushed(), 3);
+    }
 
     #[test]
     fn records_when_enabled() {

@@ -10,7 +10,7 @@
 //!   downsampling for the Figure 3–5 plots;
 //! * [`gaussian`] — `erf`/`Φ`/`Φ⁻¹` and a normal fit with a goodness-of-fit
 //!   measure (Figure 6 compares the window-sum distribution to a normal);
-//! * [`quantile`] — exact small-sample quantiles;
+//! * [`mod@quantile`] — exact small-sample quantiles;
 //! * [`fct`] — flow-completion-time aggregation (AFCT, per-size breakdowns)
 //!   for Figures 8 and 9.
 
@@ -20,6 +20,7 @@ pub mod fct;
 pub mod gaussian;
 pub mod histogram;
 pub mod quantile;
+pub mod summary;
 pub mod timeseries;
 pub mod welford;
 
@@ -27,5 +28,6 @@ pub use fct::FctCollector;
 pub use gaussian::{ks_statistic, normal_cdf, normal_pdf, normal_quantile, GaussianFit};
 pub use histogram::Histogram;
 pub use quantile::quantile;
+pub use summary::SeriesSummary;
 pub use timeseries::TimeSeries;
 pub use welford::Welford;

@@ -262,6 +262,16 @@ impl Agent for TcpSource {
         }
     }
 
+    /// Reports `cwnd.<flow>` (packets) and, once an RTT sample exists,
+    /// `rtt.<flow>` (seconds, smoothed) to the telemetry sampler. A pure
+    /// read of the sender machine: sampling never perturbs the run.
+    fn on_telemetry(&self, emit: &mut dyn FnMut(&str, f64)) {
+        emit(&format!("cwnd.{}", self.flow.0), self.sender.cwnd());
+        if let Some(srtt) = self.sender.rtt().srtt() {
+            emit(&format!("rtt.{}", self.flow.0), srtt.as_secs_f64());
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -261,7 +261,7 @@ mod tests {
 /// This implementation uses the standard cubic window function
 /// `W(t) = C·(t − K)³ + W_max` with `C = 0.4`, `β = 0.7`, plus the
 /// TCP-friendly region of RFC 8312 §4.2. Time is supplied by the sender
-/// via [`CongestionControl::on_tick`]-style calls folded into
+/// via `on_tick`-style calls folded into
 /// `on_ack_segment`; since the sender calls us once per ACK, we
 /// approximate elapsed time by accumulating the connection's smoothed
 /// per-ACK interval — adequate for the buffer-sizing experiments, which

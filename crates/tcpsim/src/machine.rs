@@ -1,5 +1,5 @@
 //! The sender-machine abstraction: one interface over the Reno-family
-//! sender ([`TcpSender`](crate::sender::TcpSender)) and the SACK sender
+//! sender ([`TcpSender`]) and the SACK sender
 //! ([`SackSender`](crate::sack::SackSender)), so agents and workloads can
 //! hold either.
 

@@ -11,7 +11,7 @@
 //!   during fast recovery;
 //! * classic-Reno recovery exit on any new ACK, or NewReno partial-ACK
 //!   retransmission, depending on the algorithm's
-//!   [`RecoveryStyle`](crate::cc::RecoveryStyle);
+//!   [`RecoveryStyle`];
 //! * go-back-N retransmission after a timeout (ns-2 semantics: `t_seqno_`
 //!   falls back to the highest ACK), with exponential RTO backoff;
 //! * RTT sampling from timestamp echoes, so Karn ambiguity never arises.

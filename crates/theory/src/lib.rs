@@ -17,7 +17,7 @@
 //!   validation + the §4 smoothed-arrivals limit).
 
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod loss;
 pub mod queueing;
 pub mod rule_of_thumb;

@@ -12,6 +12,28 @@
 //! where `ρ` is link load and `X` is the burst-size distribution. The
 //! remarkable property (§5.1.2): the bound depends only on `ρ` and the burst
 //! sizes — **not** on line rate, RTT, or the number of flows.
+//!
+//! ## Derivation (following §4.1–§4.2 of the paper)
+//!
+//! 1. A short flow of `len` segments that never leaves slow start delivers
+//!    its packets in geometrically growing bursts `2, 4, 8, …` (one per
+//!    RTT, capped by the OS receive window) — [`slow_start_bursts`].
+//! 2. Flow arrivals are Poisson, so *burst* arrivals at the bottleneck are
+//!    Poisson batch arrivals: an `M[X]/D/1` queue whose batch-size
+//!    distribution `X` is the burst mix of the workload
+//!    ([`BurstModel::from_flow_lengths`] computes `E[X]` and `E[X²]`).
+//! 3. Effective-bandwidth theory for batch arrivals gives the exponential
+//!    queue-tail bound quoted above: the log-tail slope is
+//!    `2(1−ρ)/ρ · E[X]/E[X²]` — [`BurstModel::queue_tail`].
+//! 4. Inverting at a tolerated overflow probability `p` yields the minimum
+//!    buffer `B = ln(1/p) · ρ/(2(1−ρ)) · E[X²]/E[X]` —
+//!    [`BurstModel::min_buffer`], the model curve of the paper's Figure 8
+//!    (which uses `p = 0.025`).
+//!
+//! Neither the load conversion nor the batch moments contain a line-rate,
+//! RTT, or flow-count term, which is the paper's §4 punchline: short-flow
+//! buffering is a property of the *workload*, so it does not grow with
+//! link speed.
 
 /// The slow-start burst sizes of a flow of `len` segments starting with an
 /// initial window of `initial` segments and doubling per round trip, capped

@@ -24,6 +24,33 @@
 //!
 //! Inverting the same formula gives the required buffer for a target
 //! utilization, which scales as `1/√n` — the paper's headline result.
+//!
+//! ## Derivation (following §3.1–§3.2 of the paper)
+//!
+//! 1. At any instant the outstanding packets of flow *i* are either in
+//!    flight or queued, so the aggregate window obeys the identity
+//!    `W(t) = 2T̄p·C + Q(t)` whenever the link is busy (§3.1): the queue
+//!    is the aggregate window's excess over the pipe.
+//! 2. A time-uniform sample of one AIMD sawtooth is uniform on
+//!    `[⅔W̄ᵢ, 4/3W̄ᵢ]` (a range of `⅔W̄ᵢ`), giving per-flow standard
+//!    deviation `σᵢ = (⅔W̄ᵢ)/√12 = α·W̄ᵢ` (§3.2, the sawtooth variance
+//!    computation).
+//! 3. Desynchronized flows are (approximately) independent, so by the
+//!    central limit theorem `W = Σ Wᵢ` is Gaussian with
+//!    `σ_W = σᵢ·√n = α·W̄/√n` where `W̄ = 2T̄p·C + B` is the mean
+//!    aggregate window at full utilization (§3.2; the paper's Figure 6
+//!    validates the Gaussian fit against ns-2).
+//! 4. The link idles exactly when `W` dips below the pipe `2T̄p·C`, i.e.
+//!    more than `B` below its mean, so
+//!    `utilization ≈ P(W ≥ W̄ − B) = Φ(B/σ_W)`.
+//! 5. Solving `Φ(B/σ_W) ≥ target` for the smallest `B` gives
+//!    `B = Φ⁻¹(target)·α·(2T̄p·C)/(√n − Φ⁻¹(target)·α)` — and because the
+//!    error function climbs so steeply, `B = 2T̄p·C/√n` (the boxed result
+//!    of §3.2) already buys ≈ 99.9% utilization for realistic `n`.
+//!
+//! Step 5 is [`GaussianWindowModel::buffer_for_utilization`]; step 4 is
+//! [`GaussianWindowModel::utilization`]; the boxed rule itself is
+//! [`SqrtNRule::buffer_packets`].
 
 use stats::gaussian::{normal_cdf, normal_quantile};
 

@@ -10,8 +10,17 @@ cargo build --workspace --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> cargo test --doc (workspace doc-examples)"
+cargo test -q --doc --workspace
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
 echo "==> parallel determinism (--jobs 1 vs --jobs 4 sweeps)"
 cargo test -q --release --test parallel_determinism
+
+echo "==> RESULTS.md drift gate (report --check)"
+cargo run -q --release -p bench --bin report -- --check
 
 echo "==> cargo run -p simlint (determinism contract, incl. crates/core)"
 cargo run -q --release -p simlint
