@@ -9,7 +9,14 @@
 //! committed trajectory to compare against.
 use bench::harness::{sweep_json, SweepSection};
 use buffersizing::prelude::*;
+use simcore::Profile;
 use std::process::{Command, Stdio};
+
+/// Folds the per-cell profiles into the fleet aggregate, in input order.
+fn merge_profiles(results: &[LongFlowResult]) -> Profile {
+    buffersizing::exec::merge_profiles(results.iter().map(|r| r.profile.as_ref()))
+        .expect("profiled cells carry profiles")
+}
 
 fn out_flag() -> String {
     let args: Vec<String> = std::env::args().collect();
@@ -31,7 +38,7 @@ fn cell_buffers() -> Vec<usize> {
     vec![10, 20, 35, 50, 70, 90, 120, 160]
 }
 
-fn run_cells(jobs: usize) -> Vec<LongFlowResult> {
+fn run_cells_with(jobs: usize, profiler: bool) -> Vec<LongFlowResult> {
     let exec = Executor::new(jobs);
     let buffers = cell_buffers();
     exec.map(&buffers, |&b| {
@@ -39,8 +46,13 @@ fn run_cells(jobs: usize) -> Vec<LongFlowResult> {
         sc.warmup = SimDuration::from_secs(2);
         sc.measure = SimDuration::from_secs(5);
         sc.buffer_pkts = b;
+        sc.profiler = profiler;
         sc.run()
     })
+}
+
+fn run_cells(jobs: usize) -> Vec<LongFlowResult> {
+    run_cells_with(jobs, false)
 }
 
 fn main() {
@@ -63,20 +75,43 @@ fn main() {
     }
     println!("determinism: jobs levels {levels:?} all byte-identical\n");
 
-    let mut sections = vec![SweepSection::measure(
-        "long_flow_cells",
-        cell_buffers().len(),
-        &levels,
-        |l| {
+    // The self-profiler must be cheap (its contract: one array increment +
+    // one leading-zeros per dispatch) and its cross-worker aggregate must
+    // not depend on the jobs level. Check invariance, then time both arms
+    // so BENCH_sweep.json records the profiler's overhead.
+    let prof_reference = merge_profiles(&run_cells_with(1, true));
+    for &l in &levels {
+        assert_eq!(
+            merge_profiles(&run_cells_with(l, true)).digest(),
+            prof_reference.digest(),
+            "jobs={l} merged profile diverged from sequential"
+        );
+    }
+    println!(
+        "profiler: {} events across {} cells, merged digest stable at jobs levels {levels:?}\n",
+        prof_reference.dispatches(),
+        prof_reference.runs()
+    );
+
+    let mut sections = vec![
+        SweepSection::measure("long_flow_cells", cell_buffers().len(), &levels, |l| {
             let _ = run_cells(l);
-        },
-    )];
+        }),
+        SweepSection::measure(
+            "long_flow_cells_profiled",
+            cell_buffers().len(),
+            &levels,
+            |l| {
+                let _ = run_cells_with(l, true);
+            },
+        ),
+    ];
 
     if repro_flag() {
         let exe = std::env::current_exe().expect("own path");
         let repro = exe.parent().expect("bin dir").join("repro");
-        // 15 artifact binaries behind repro --quick.
-        sections.push(SweepSection::measure("repro_quick", 15, &levels, |l| {
+        // 16 artifact binaries behind repro --quick.
+        sections.push(SweepSection::measure("repro_quick", 16, &levels, |l| {
             let status = Command::new(&repro)
                 .args(["--quick", "--jobs", &l.to_string()])
                 .stdout(Stdio::null())
@@ -95,5 +130,23 @@ fn main() {
     println!("\n(JSON written to {path})");
     for s in &sections {
         println!("{}: speedup {:.2}x at jobs={jobs}", s.name, s.speedup());
+    }
+    // Profiler overhead contract (DESIGN.md §10): <= 5% on the sequential
+    // path. Report it next to the recorded samples.
+    let base = sections
+        .iter()
+        .find(|s| s.name == "long_flow_cells")
+        .and_then(|s| s.samples.iter().find(|x| x.jobs == 1))
+        .map(|x| x.wall_s);
+    let prof = sections
+        .iter()
+        .find(|s| s.name == "long_flow_cells_profiled")
+        .and_then(|s| s.samples.iter().find(|x| x.jobs == 1))
+        .map(|x| x.wall_s);
+    if let (Some(base), Some(prof)) = (base, prof) {
+        println!(
+            "profiler overhead at jobs=1: {:+.1}% (contract: <= 5%)",
+            (prof / base - 1.0) * 100.0
+        );
     }
 }

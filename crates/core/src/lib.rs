@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 pub mod exec;
+pub mod explain;
 pub mod figures;
 pub mod json;
 pub mod manifest;
@@ -45,7 +46,7 @@ pub use exec::Executor;
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use runner::{
-    LongFlowResult, LongFlowScenario, MixScenario, ShortFlowResult, ShortFlowScenario,
+    LongFlowResult, LongFlowScenario, MixScenario, ShortFlowResult, ShortFlowScenario, TracedRun,
 };
 pub use search::{min_buffer_for, min_buffer_for_par, SearchResult};
 pub use sync::{pairwise_correlation, SyncReport};

@@ -48,6 +48,11 @@ pub struct RunManifest {
     pub packet_log_digest: Option<u64>,
     /// FNV-1a digest of the telemetry store, when telemetry was enabled.
     pub telemetry_digest: Option<u64>,
+    /// FNV-1a digest of the self-profiler snapshot, when the profiler was
+    /// enabled. Like every digest here it is a pure function of seed and
+    /// configuration (the profiler counts sim-time quantities only), so it
+    /// keeps the byte-identical-artifacts guarantee.
+    pub profile_digest: Option<u64>,
 }
 
 /// The simulation crates in dependency order, with the (single) workspace
@@ -80,6 +85,7 @@ impl RunManifest {
             crates: workspace_crates(),
             packet_log_digest: None,
             telemetry_digest: None,
+            profile_digest: None,
         }
     }
 
@@ -98,6 +104,12 @@ impl RunManifest {
     /// Sets the packet-log digest (builder style).
     pub fn packet_log(mut self, digest: Option<u64>) -> Self {
         self.packet_log_digest = digest;
+        self
+    }
+
+    /// Sets the self-profiler digest (builder style).
+    pub fn profile(mut self, digest: Option<u64>) -> Self {
+        self.profile_digest = digest;
         self
     }
 
@@ -124,6 +136,7 @@ impl RunManifest {
             .with("crates", pairs(&self.crates))
             .with("packet_log_digest", digest(self.packet_log_digest))
             .with("telemetry_digest", digest(self.telemetry_digest))
+            .with("profile_digest", digest(self.profile_digest))
     }
 
     /// Reads a manifest back from its JSON form.
@@ -154,6 +167,7 @@ impl RunManifest {
             crates: pairs("crates"),
             packet_log_digest: digest("packet_log_digest"),
             telemetry_digest: digest("telemetry_digest"),
+            profile_digest: digest("profile_digest"),
         })
     }
 
@@ -173,6 +187,9 @@ impl RunManifest {
         }
         if let Some(d) = self.packet_log_digest {
             s.push_str(&format!(", packet-log digest `{d:016x}`"));
+        }
+        if let Some(d) = self.profile_digest {
+            s.push_str(&format!(", profile digest `{d:016x}`"));
         }
         if !self.params.is_empty() {
             let kv: Vec<String> = self
@@ -213,6 +230,9 @@ mod tests {
         let j = sample().to_json();
         assert_eq!(j.str("telemetry_digest"), Some("0123456789abcdef"));
         assert_eq!(j.get("packet_log_digest"), Some(&Json::Null));
+        assert_eq!(j.get("profile_digest"), Some(&Json::Null));
+        let with_prof = sample().profile(Some(0xfeed)).to_json();
+        assert_eq!(with_prof.str("profile_digest"), Some("000000000000feed"));
     }
 
     #[test]

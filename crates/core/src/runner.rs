@@ -11,10 +11,13 @@
 //! plain result struct so figures/tables are just data transformations.
 
 use netsim::red::RedConfig;
-use netsim::{DumbbellBuilder, QueueCapacity, Red, Sim, TelemetryConfig};
-use simcore::{Rng, SimDuration, SimTime};
+use netsim::{
+    DropLedger, DumbbellBuilder, ForensicsConfig, LinkId, PacketRecord, QueueCapacity, Red, Sim,
+    TelemetryConfig,
+};
+use simcore::{Profile, Rng, SimDuration, SimTime};
 use stats::FctCollector;
-use tcpsim::{TcpConfig, TcpSink, TcpSource};
+use tcpsim::{SpanLog, TcpConfig, TcpSink, TcpSource};
 use traffic::bulk::CcKind;
 use traffic::{
     arrival_rate_for_load, BulkWorkload, FlowHandle, FlowLengthDist, ShortFlowWorkload,
@@ -58,6 +61,20 @@ pub struct LongFlowScenario {
     /// sampler is a pure read on the sim clock, so enabling it does not
     /// change results — the result then carries a telemetry digest.
     pub telemetry: Option<TelemetryConfig>,
+    /// Causal drop forensics (per-reason / per-flow / per-interval drop
+    /// ledger plus synchronized-loss episodes); `None` leaves it off. A
+    /// pure observer like telemetry — the result then carries a forensics
+    /// digest.
+    pub forensics: Option<ForensicsConfig>,
+    /// Give every flow a bounded lifecycle span log of this capacity
+    /// (slow-start exit, fast retransmit, recovery exit, RTO — see
+    /// `tcpsim::span`); `None` leaves span tracing off. Pure observer; the
+    /// result then carries a span digest.
+    pub span_capacity: Option<usize>,
+    /// Enable the simulator self-profiler (per-event-class dispatch
+    /// counts, sim-time gap histogram, event-queue high-water marks). Pure
+    /// observer; the result then carries the profile.
+    pub profiler: bool,
     /// Master seed.
     pub seed: u64,
     /// Warm-up excluded from measurement.
@@ -83,6 +100,9 @@ impl LongFlowScenario {
             start_window: SimDuration::from_secs(5),
             jitter: Some(SimDuration::from_micros(100)),
             telemetry: None,
+            forensics: None,
+            span_capacity: None,
+            profiler: false,
             seed: 1,
             warmup: SimDuration::from_secs(20),
             measure: SimDuration::from_secs(60),
@@ -105,6 +125,9 @@ impl LongFlowScenario {
             start_window: SimDuration::from_secs(2),
             jitter: Some(SimDuration::from_micros(100)),
             telemetry: None,
+            forensics: None,
+            span_capacity: None,
+            profiler: false,
             seed: 1,
             warmup: SimDuration::from_secs(5),
             measure: SimDuration::from_secs(15),
@@ -171,11 +194,18 @@ impl LongFlowScenario {
             sim.kernel_mut().link_mut(dumbbell.bottleneck).sample_queue = true;
             sim.enable_telemetry(tel.clone());
         }
+        if let Some(fc) = self.forensics {
+            sim.enable_drop_forensics(fc);
+        }
+        if self.profiler {
+            sim.enable_profiler();
+        }
         let wl = BulkWorkload {
             cfg: self.cfg,
             cc: self.cc,
             pacing: self.pacing,
             start_window: self.start_window,
+            span_capacity: self.span_capacity,
             ..Default::default()
         };
         let handles = wl.install(&mut sim, &dumbbell, 0, &mut rng);
@@ -232,6 +262,31 @@ impl LongFlowScenario {
             None => sim.run_until(end),
         }
 
+        self.collect_result(&sim, &dumbbell, &handles, window_sum, per_flow)
+    }
+
+    /// Merges every flow's lifecycle span log into one timeline (empty when
+    /// span tracing was off).
+    fn merged_spans(sim: &Sim, handles: &[FlowHandle]) -> SpanLog {
+        let sources: Vec<&TcpSource> = handles
+            .iter()
+            .map(|h| sim.agent_as::<TcpSource>(h.source).expect("bulk source"))
+            .collect();
+        let logs: Vec<&SpanLog> = sources.iter().filter_map(|s| s.span_log()).collect();
+        let cap: usize = logs.iter().map(|l| l.len()).sum();
+        SpanLog::merge_sorted(&logs, cap.max(1))
+    }
+
+    /// Assembles the result struct from a finished sim (shared by
+    /// [`LongFlowScenario::run_sampled`] and [`LongFlowScenario::run_traced`]).
+    fn collect_result(
+        &self,
+        sim: &Sim,
+        dumbbell: &netsim::Dumbbell,
+        handles: &[FlowHandle],
+        window_sum: Vec<f64>,
+        per_flow: Vec<Vec<f64>>,
+    ) -> LongFlowResult {
         let mon = &sim.kernel().link(dumbbell.bottleneck).monitor;
         let utilization = mon.utilization(sim.now(), self.bottleneck_rate);
         let drop_rate = mon.drop_rate();
@@ -243,7 +298,7 @@ impl LongFlowScenario {
         let mut timeouts = 0u64;
         let mut fast_retransmits = 0u64;
         let mut data_drops = 0u64;
-        for h in &handles {
+        for h in handles {
             let st = sim
                 .agent_as::<TcpSource>(h.source)
                 .expect("bulk source")
@@ -276,8 +331,84 @@ impl LongFlowScenario {
             window_sum_samples: window_sum,
             per_flow_window_samples: per_flow,
             telemetry_digest: sim.telemetry().map(|t| t.digest()),
+            forensics_digest: sim.forensics().map(|l| l.digest()),
+            span_digest: self
+                .span_capacity
+                .map(|_| Self::merged_spans(sim, handles).digest()),
+            profile: sim.profile(),
         }
     }
+
+    /// Runs the scenario with the full observability stack — packet log,
+    /// drop forensics, lifecycle spans, and the self-profiler — and returns
+    /// the raw evidence alongside the usual result so callers (the
+    /// `explain` tool, tests) can reconstruct causal drop narratives.
+    ///
+    /// Fields already configured on the scenario are respected; anything
+    /// still off is enabled with defaults (forensics windowed at one mean
+    /// RTT, 4096-record span logs). The stack is a pure observer, so the
+    /// embedded [`LongFlowResult`] matches a plain [`LongFlowScenario::run`]
+    /// except for the observability digest fields.
+    pub fn run_traced(&self, log_capacity: usize) -> TracedRun {
+        let mut sc = self.clone();
+        if sc.forensics.is_none() {
+            sc.forensics = Some(ForensicsConfig::new(sc.mean_rtt()));
+        }
+        if sc.span_capacity.is_none() {
+            sc.span_capacity = Some(4096);
+        }
+        sc.profiler = true;
+        let (mut sim, dumbbell, handles) = sc.build();
+        sim.enable_packet_log(log_capacity);
+        sim.start();
+        sim.run_until(SimTime::ZERO + sc.warmup);
+        let mark = sim.now();
+        sim.kernel_mut()
+            .link_mut(dumbbell.bottleneck)
+            .monitor
+            .mark(mark);
+        sim.run_until(mark + sc.measure);
+
+        let per_flow: Vec<Vec<f64>> = (0..handles.len()).map(|_| Vec::new()).collect();
+        let result = sc.collect_result(&sim, &dumbbell, &handles, Vec::new(), per_flow);
+        let spans = Self::merged_spans(&sim, &handles);
+        let log = sim.kernel().packet_log().expect("packet log enabled");
+        TracedRun {
+            result,
+            records: log.records().to_vec(),
+            overflowed: log.overflowed,
+            packet_digest: log.digest(),
+            ledger: sim.forensics().expect("forensics enabled").clone(),
+            spans,
+            profile: sim.profile().expect("profiler enabled"),
+            bottleneck: dumbbell.bottleneck,
+        }
+    }
+}
+
+/// Everything [`LongFlowScenario::run_traced`] captures: the ordinary
+/// result plus the raw packet records, drop ledger, merged span timeline
+/// and profiler snapshot needed to reconstruct causal narratives (see
+/// [`crate::explain`]).
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The ordinary scenario result (observability digest fields set).
+    pub result: LongFlowResult,
+    /// Stored packet records, in time order (bounded by the requested
+    /// capacity; check [`TracedRun::overflowed`]).
+    pub records: Vec<PacketRecord>,
+    /// Packet-log events that arrived after the log filled.
+    pub overflowed: u64,
+    /// FNV-1a digest of the stored packet log.
+    pub packet_digest: u64,
+    /// The drop-forensics ledger.
+    pub ledger: DropLedger,
+    /// Every flow's lifecycle spans, merged into one time-ordered log.
+    pub spans: SpanLog,
+    /// Self-profiler snapshot.
+    pub profile: Profile,
+    /// The bottleneck link id (drops on other links are access-side).
+    pub bottleneck: LinkId,
 }
 
 /// Result of a [`LongFlowScenario`] run.
@@ -318,6 +449,17 @@ pub struct LongFlowResult {
     /// enabled telemetry). Byte-stable across repeated runs and `--jobs`
     /// levels for a fixed seed.
     pub telemetry_digest: Option<u64>,
+    /// FNV-1a digest of the drop-forensics ledger (`None` unless the
+    /// scenario enabled forensics). Same stability contract as
+    /// [`LongFlowResult::telemetry_digest`].
+    pub forensics_digest: Option<u64>,
+    /// FNV-1a digest of the merged flow-lifecycle span log (`None` unless
+    /// the scenario enabled span tracing). Same stability contract.
+    pub span_digest: Option<u64>,
+    /// Self-profiler snapshot (`None` unless the scenario enabled the
+    /// profiler). Dispatch counters and gap histograms are functions of
+    /// sim time only, so this too is byte-stable per seed.
+    pub profile: Option<Profile>,
 }
 
 /// Poisson-arrival short flows over a single bottleneck (§5.1.2).
@@ -669,6 +811,64 @@ mod tests {
         let mut masked = a.clone();
         masked.telemetry_digest = None;
         assert_eq!(masked, base);
+    }
+
+    #[test]
+    fn observability_stack_is_a_pure_observer() {
+        let sc = LongFlowScenario::quick(4, 10_000_000);
+        let base = sc.run();
+        let mut obs = sc.clone();
+        obs.forensics = Some(ForensicsConfig::new(obs.mean_rtt()));
+        obs.span_capacity = Some(1024);
+        obs.profiler = true;
+        let a = obs.run();
+        let b = obs.run();
+        // All three artifacts exist and are reproducible.
+        assert!(a.forensics_digest.is_some());
+        assert!(a.span_digest.is_some());
+        assert!(a.profile.is_some());
+        assert_eq!(a.forensics_digest, b.forensics_digest);
+        assert_eq!(a.span_digest, b.span_digest);
+        assert_eq!(a.profile, b.profile);
+        // Enabling the full stack changes nothing but those fields.
+        let mut masked = a.clone();
+        masked.forensics_digest = None;
+        masked.span_digest = None;
+        masked.profile = None;
+        assert_eq!(masked, base);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run_and_reconciles() {
+        let mut sc = LongFlowScenario::quick(3, 5_000_000);
+        sc.warmup = SimDuration::from_secs(2);
+        sc.measure = SimDuration::from_secs(6);
+        sc.buffer_pkts = 20;
+        let base = sc.run();
+        let tr = sc.run_traced(300_000);
+        // The traced result is the plain result plus observability fields.
+        let mut masked = tr.result.clone();
+        masked.forensics_digest = None;
+        masked.span_digest = None;
+        masked.profile = None;
+        assert_eq!(masked, base);
+        // Nothing was lost, and the packet log's drop records reconcile
+        // exactly with the forensics ledger.
+        assert_eq!(tr.overflowed, 0, "packet log overflowed");
+        let drop_records = tr.records.iter().filter(|r| r.event.is_drop()).count() as u64;
+        assert!(drop_records > 0, "scenario produced no drops");
+        assert_eq!(drop_records, tr.ledger.total());
+        assert_eq!(tr.ledger.link_total(tr.bottleneck), tr.ledger.total());
+        // Spans were recorded and join against the sum of per-flow logs.
+        assert!(!tr.spans.is_empty());
+        assert_eq!(Some(tr.spans.digest()), tr.result.span_digest);
+        // The profiler saw every dispatched event class label.
+        assert!(tr.profile.dispatches() > 0);
+        // run_traced is itself deterministic.
+        let tr2 = sc.run_traced(300_000);
+        assert_eq!(tr.packet_digest, tr2.packet_digest);
+        assert_eq!(tr.ledger.digest(), tr2.ledger.digest());
+        assert_eq!(tr.spans.digest(), tr2.spans.digest());
     }
 
     #[test]

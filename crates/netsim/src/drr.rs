@@ -13,6 +13,7 @@
 //! drop, the usual DRR companion policy) — otherwise the head-of-the-
 //! longest-queue packet is evicted in its favour.
 
+use crate::forensics::DropReason;
 use crate::packet::Packet;
 use crate::queue::{Queue, QueueCapacity};
 use simcore::{Rng, SimTime};
@@ -147,6 +148,16 @@ impl Queue for Drr {
 
     fn capacity(&self) -> QueueCapacity {
         QueueCapacity::Packets(self.capacity_pkts)
+    }
+
+    fn last_drop_reason(&self) -> DropReason {
+        // Both DRR rejection forms — newcomer refused and head-of-longest
+        // evicted — are the longest-queue policy at work.
+        DropReason::DrrPolicy
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -6,6 +6,7 @@
 //! full, further events are counted but not stored (never silently
 //! truncated — check [`PacketLog::overflowed`]).
 
+use crate::forensics::DropReason;
 use crate::packet::FlowId;
 use crate::sim::LinkId;
 use simcore::SimTime;
@@ -15,12 +16,24 @@ use simcore::SimTime;
 pub enum PacketEvent {
     /// Entered a link's output queue (or went straight to the transmitter).
     Queued,
-    /// Rejected by a full queue, RED, or fault injection.
-    Dropped,
+    /// Rejected by a full queue, RED, DRR policy, or fault injection.
+    Dropped {
+        /// The mechanism that rejected the packet.
+        reason: DropReason,
+        /// Queue occupancy (packets) at the instant of the drop.
+        depth: u32,
+    },
     /// Finished serializing onto the wire.
     Transmitted,
     /// Delivered to the destination agent.
     Delivered,
+}
+
+impl PacketEvent {
+    /// True for any drop, regardless of reason.
+    pub fn is_drop(&self) -> bool {
+        matches!(self, PacketEvent::Dropped { .. })
+    }
 }
 
 /// One logged packet milestone.
@@ -71,24 +84,39 @@ impl PacketLog {
         &self.records
     }
 
-    /// Records for one packet uid, in order.
-    pub fn for_packet(&self, uid: u64) -> Vec<PacketRecord> {
-        self.records.iter().copied().filter(|r| r.uid == uid).collect()
+    /// Iterates over the records for one packet uid, in time order, without
+    /// allocating.
+    pub fn iter_packet(&self, uid: u64) -> impl Iterator<Item = &PacketRecord> + '_ {
+        self.records.iter().filter(move |r| r.uid == uid)
     }
 
-    /// Records for one flow, in order.
+    /// Iterates over the records for one flow, in time order, without
+    /// allocating.
+    pub fn iter_flow(&self, flow: FlowId) -> impl Iterator<Item = &PacketRecord> + '_ {
+        self.records.iter().filter(move |r| r.flow == flow)
+    }
+
+    /// Records for one packet uid, in order (thin `Vec` wrapper over
+    /// [`PacketLog::iter_packet`] for callers that want ownership).
+    pub fn for_packet(&self, uid: u64) -> Vec<PacketRecord> {
+        self.iter_packet(uid).copied().collect()
+    }
+
+    /// Records for one flow, in order (thin `Vec` wrapper over
+    /// [`PacketLog::iter_flow`]).
     pub fn for_flow(&self, flow: FlowId) -> Vec<PacketRecord> {
-        self.records
-            .iter()
-            .copied()
-            .filter(|r| r.flow == flow)
-            .collect()
+        self.iter_flow(flow).copied().collect()
     }
 
     /// A 64-bit FNV-1a digest over every stored record (time, uid, flow,
     /// link, event kind). Two runs of the same scenario with the same seed
     /// must produce identical digests — the determinism regression tests
     /// compare these instead of multi-megabyte logs.
+    ///
+    /// The drop *metadata* (reason, queue depth) is deliberately excluded:
+    /// every `Dropped` form hashes to the same code, so the digest byte
+    /// stream is identical to the pre-forensics one and enabling drop
+    /// forensics can never change it.
     pub fn digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -109,7 +137,7 @@ impl PacketLog {
             });
             mix(match r.event {
                 PacketEvent::Queued => 1,
-                PacketEvent::Dropped => 2,
+                PacketEvent::Dropped { .. } => 2,
                 PacketEvent::Transmitted => 3,
                 PacketEvent::Delivered => 4,
             });
@@ -120,13 +148,14 @@ impl PacketLog {
 
     /// Renders the log in an ns-2-like single-line-per-event text format:
     /// `<time> <+|d|-|r> <link|agent> <flow> <uid>` (`+` queued, `d`
-    /// dropped, `-` transmitted, `r` received/delivered).
+    /// dropped, `-` transmitted, `r` received/delivered). Drop lines carry
+    /// the forensic attribution as a trailing `<reason> q=<depth>`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
             let code = match r.event {
                 PacketEvent::Queued => '+',
-                PacketEvent::Dropped => 'd',
+                PacketEvent::Dropped { .. } => 'd',
                 PacketEvent::Transmitted => '-',
                 PacketEvent::Delivered => 'r',
             };
@@ -135,13 +164,17 @@ impl PacketLog {
                 None => "agent".to_string(),
             };
             out.push_str(&format!(
-                "{:.9} {} {} f{} p{}\n",
+                "{:.9} {} {} f{} p{}",
                 r.time.as_secs_f64(),
                 code,
                 place,
                 r.flow.0,
                 r.uid
             ));
+            if let PacketEvent::Dropped { reason, depth } = r.event {
+                out.push_str(&format!(" {} q={}", reason.name(), depth));
+            }
+            out.push('\n');
         }
         out
     }
@@ -158,6 +191,13 @@ mod tests {
             flow: FlowId(0),
             link: Some(LinkId(1)),
             event,
+        }
+    }
+
+    fn dropped() -> PacketEvent {
+        PacketEvent::Dropped {
+            reason: DropReason::TailOverflow,
+            depth: 42,
         }
     }
 
@@ -180,6 +220,12 @@ mod tests {
         assert_eq!(log.for_packet(1).len(), 2);
         assert_eq!(log.for_packet(2).len(), 1);
         assert_eq!(log.for_flow(FlowId(0)).len(), 3);
+        // The iterator variants see the same records without allocating.
+        assert_eq!(log.iter_packet(1).count(), 2);
+        assert_eq!(log.iter_flow(FlowId(0)).count(), 3);
+        assert_eq!(log.iter_flow(FlowId(9)).count(), 0);
+        let times: Vec<u64> = log.iter_packet(1).map(|r| r.time.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -195,18 +241,39 @@ mod tests {
         assert_ne!(a.digest(), b.digest());
         // Same fields, different event kind.
         let mut c = PacketLog::new(10);
-        c.push(rec(1, 1, PacketEvent::Dropped));
+        c.push(rec(1, 1, dropped()));
         c.push(rec(2, 1, PacketEvent::Transmitted));
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_ignores_drop_metadata() {
+        // The reason/depth payload is observability metadata; the digest must
+        // stay byte-compatible with the pre-forensics stream, so two logs
+        // differing only in drop attribution hash identically.
+        let mut a = PacketLog::new(10);
+        a.push(rec(1, 1, dropped()));
+        let mut b = PacketLog::new(10);
+        b.push(rec(
+            1,
+            1,
+            PacketEvent::Dropped {
+                reason: DropReason::RedEarly,
+                depth: 7,
+            },
+        ));
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]
     fn render_format() {
         let mut log = PacketLog::new(4);
         log.push(rec(1, 7, PacketEvent::Queued));
-        log.push(rec(2, 7, PacketEvent::Dropped));
+        log.push(rec(2, 7, dropped()));
         let s = log.render();
         assert!(s.contains("+ link1 f0 p7"));
         assert!(s.contains("d link1 f0 p7"));
+        // Drop lines carry the forensic attribution.
+        assert!(s.contains("d link1 f0 p7 tail-overflow q=42"));
     }
 }

@@ -29,6 +29,7 @@ pub mod auditor;
 pub mod builder;
 pub mod drr;
 pub mod eventlog;
+pub mod forensics;
 pub mod link;
 pub mod monitor;
 pub mod node;
@@ -43,6 +44,7 @@ pub use auditor::Auditor;
 pub use builder::{Dumbbell, DumbbellBuilder, DumbbellView};
 pub use drr::Drr;
 pub use eventlog::{PacketEvent, PacketLog, PacketRecord};
+pub use forensics::{DropLedger, DropReason, ForensicsConfig, SyncEpisode};
 pub use link::Link;
 pub use monitor::LinkMonitor;
 pub use node::{Node, NodeKind, RouteTable};

@@ -23,6 +23,10 @@ pub struct LinkCounters {
 }
 
 /// Measurement state for one link.
+///
+/// `Default` (and [`LinkMonitor::new`]) is the pre-traffic state: all
+/// counters zero and the mark at `SimTime::ZERO`, so deltas cover the whole
+/// run until the first [`LinkMonitor::mark`].
 #[derive(Clone, Debug, Default)]
 pub struct LinkMonitor {
     totals: LinkCounters,
@@ -94,6 +98,11 @@ impl LinkMonitor {
     /// Link utilization in `[0, 1]` over `(mark, now]` for a link of
     /// `rate_bps`: bytes serialized divided by what the link could have
     /// carried.
+    ///
+    /// Returns `0.0` when the window is empty (`now <= mark_time`, e.g. a
+    /// monitor queried at the instant it was marked) — an empty window has
+    /// carried nothing, and returning a defined value keeps callers free of
+    /// division-by-zero and NaN checks.
     pub fn utilization(&self, now: SimTime, rate_bps: u64) -> f64 {
         let elapsed = now.saturating_since(self.mark_time).as_secs_f64();
         if elapsed <= 0.0 {
@@ -175,5 +184,21 @@ mod tests {
         assert_eq!(m.utilization(SimTime::ZERO, 1000), 0.0);
         m.on_tx(1_000_000, SimDuration::from_secs(1));
         assert_eq!(m.utilization(SimTime::from_nanos(1), 1), 1.0);
+    }
+
+    #[test]
+    fn utilization_at_mark_instant_is_zero_not_nan() {
+        // Regression: querying at (or before) the mark instant must return
+        // the documented 0.0, never divide by the zero-length window.
+        let mut m = LinkMonitor::default();
+        m.on_tx(1250, SimDuration::from_millis(1));
+        let t = SimTime::from_secs(5);
+        m.mark(t);
+        let u = m.utilization(t, 10_000_000);
+        assert_eq!(u, 0.0);
+        assert!(u.is_finite());
+        // A query from before the mark (clock skew in caller logic) is also
+        // an empty window.
+        assert_eq!(m.utilization(SimTime::from_secs(4), 10_000_000), 0.0);
     }
 }

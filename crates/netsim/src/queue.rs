@@ -4,6 +4,7 @@
 //! RED lives in [`crate::red`]. The buffer limit is expressed in packets or
 //! bytes via [`QueueCapacity`]; the paper sizes buffers in packets.
 
+use crate::forensics::DropReason;
 use crate::packet::Packet;
 use simcore::{Rng, SimTime};
 
@@ -52,6 +53,19 @@ pub trait Queue: Send {
     fn is_empty(&self) -> bool {
         self.len_packets() == 0
     }
+
+    /// The mechanism behind the most recent `enqueue` rejection, for drop
+    /// forensics. The kernel reads this immediately after an `Err` return;
+    /// the value is meaningless at any other time. Disciplines with a single
+    /// drop mechanism keep the default; RED overrides it to distinguish
+    /// early (probabilistic) from forced drops.
+    fn last_drop_reason(&self) -> DropReason {
+        DropReason::TailOverflow
+    }
+
+    /// Upcast for downcasting to a concrete queue type (diagnostics and
+    /// reconciliation tests; mirrors `tcpsim`'s `SenderMachine::as_any`).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// A FIFO queue that drops arriving packets when full (drop-tail).
@@ -130,6 +144,10 @@ impl Queue for DropTail {
 
     fn capacity(&self) -> QueueCapacity {
         self.capacity
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -10,6 +10,7 @@
 //! from `max_p` to 1 between `max_th` and `2·max_th`) is available as an
 //! option.
 
+use crate::forensics::DropReason;
 use crate::packet::Packet;
 use crate::queue::{Queue, QueueCapacity};
 use simcore::{Rng, SimDuration, SimTime};
@@ -68,6 +69,9 @@ pub struct Red {
     pub early_drops: u64,
     /// Forced drops: queue physically full or average above max threshold.
     pub forced_drops: u64,
+    /// Attribution of the most recent drop (read by the kernel right after
+    /// an `enqueue` rejection, see [`Queue::last_drop_reason`]).
+    last_reason: DropReason,
 }
 
 impl Red {
@@ -85,6 +89,7 @@ impl Red {
             idle_since: Some(SimTime::ZERO),
             early_drops: 0,
             forced_drops: 0,
+            last_reason: DropReason::RedForced,
         }
     }
 
@@ -138,6 +143,7 @@ impl Queue for Red {
         if self.items.len() >= self.cfg.capacity_pkts {
             self.forced_drops += 1;
             self.count = 0;
+            self.last_reason = DropReason::RedForced;
             return Err(pkt);
         }
 
@@ -145,6 +151,7 @@ impl Queue for Red {
         if p_b >= 1.0 {
             self.forced_drops += 1;
             self.count = 0;
+            self.last_reason = DropReason::RedForced;
             return Err(pkt);
         }
         if p_b > 0.0 {
@@ -155,6 +162,7 @@ impl Queue for Red {
             if rng.chance(p_a) {
                 self.early_drops += 1;
                 self.count = 0;
+                self.last_reason = DropReason::RedEarly;
                 return Err(pkt);
             }
         } else {
@@ -185,6 +193,14 @@ impl Queue for Red {
 
     fn capacity(&self) -> QueueCapacity {
         QueueCapacity::Packets(self.cfg.capacity_pkts)
+    }
+
+    fn last_drop_reason(&self) -> DropReason {
+        self.last_reason
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -20,13 +20,14 @@
 
 use crate::auditor::Auditor;
 use crate::eventlog::{PacketEvent, PacketLog, PacketRecord};
+use crate::forensics::{DropLedger, DropReason, ForensicsConfig};
 use crate::link::Link;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowId, Packet, PacketKind};
 use crate::queue::QueueCapacity;
 use simcore::trace::TraceSink;
-use simcore::{EventQueue, Rng, SimDuration, SimTime};
+use simcore::{EventQueue, Profile, Rng, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::BTreeMap;
 
@@ -100,6 +101,32 @@ enum Event {
     TelemetrySample { period: SimDuration },
 }
 
+/// Profiler labels for the kernel's event classes, in dispatch-code order
+/// (see `Event::class`). Shared with the executor so profiles merged
+/// across workers always agree on the label set.
+pub const EVENT_CLASS_LABELS: [&str; 6] = [
+    "tx_end",
+    "arrival",
+    "timer",
+    "inject",
+    "queue_sample",
+    "telemetry_sample",
+];
+
+impl Event {
+    /// Index of this event's class in [`EVENT_CLASS_LABELS`].
+    fn class(&self) -> usize {
+        match self {
+            Event::TxEnd { .. } => 0,
+            Event::Arrival { .. } => 1,
+            Event::Timer { .. } => 2,
+            Event::Inject { .. } => 3,
+            Event::QueueSample { .. } => 4,
+            Event::TelemetrySample { .. } => 5,
+        }
+    }
+}
+
 /// Global kernel counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct KernelStats {
@@ -145,6 +172,8 @@ pub struct Kernel {
     packet_log: Option<PacketLog>,
     auditor: Option<Auditor>,
     telemetry: Option<Telemetry>,
+    forensics: Option<DropLedger>,
+    prof: Option<Profile>,
     /// Packets currently propagating (scheduled `Arrival` events). Kept
     /// unconditionally — it is one add/sub per packet — so the auditor can
     /// reconcile counters against structural state when enabled.
@@ -236,6 +265,11 @@ impl Kernel {
         self.telemetry.as_ref()
     }
 
+    /// The drop-forensics ledger, if enabled.
+    pub fn forensics(&self) -> Option<&DropLedger> {
+        self.forensics.as_ref()
+    }
+
     /// Samples the link-level telemetry series for one tick.
     fn telemetry_sample_links(&mut self) {
         let now = self.now;
@@ -319,7 +353,8 @@ impl Kernel {
         let loss = self.links[lid.idx()].random_loss;
         if loss > 0.0 && self.rng.chance(loss) {
             let link = &mut self.links[lid.idx()];
-            link.monitor.on_offered(link.queue.len_packets());
+            let depth = link.queue.len_packets();
+            link.monitor.on_offered(depth);
             link.monitor.on_drop();
             self.stats.drops += 1;
             let is_data = packet.kind.is_tcp_data();
@@ -328,7 +363,18 @@ impl Kernel {
             if is_data {
                 fs.data_drops += 1;
             }
-            self.log_packet(&packet, Some(lid), PacketEvent::Dropped);
+            let reason = DropReason::RandomLoss;
+            self.log_packet(
+                &packet,
+                Some(lid),
+                PacketEvent::Dropped {
+                    reason,
+                    depth: depth as u32,
+                },
+            );
+            if let Some(led) = &mut self.forensics {
+                led.on_drop(now, lid, packet.flow, reason, depth as u32);
+            }
             if let Some(a) = &mut self.auditor {
                 a.on_dropped();
             }
@@ -355,6 +401,9 @@ impl Kernel {
                 }
                 Err(dropped) => {
                     let qlen = link.queue.len_packets();
+                    // The discipline records its drop mechanism as a side
+                    // effect of the rejection; read it before the borrow ends.
+                    let reason = link.queue.last_drop_reason();
                     link.monitor.on_offered(qlen);
                     link.monitor.on_drop();
                     self.stats.drops += 1;
@@ -364,7 +413,17 @@ impl Kernel {
                     if is_data {
                         fs.data_drops += 1;
                     }
-                    self.log_packet(&dropped, Some(lid), PacketEvent::Dropped);
+                    self.log_packet(
+                        &dropped,
+                        Some(lid),
+                        PacketEvent::Dropped {
+                            reason,
+                            depth: qlen as u32,
+                        },
+                    );
+                    if let Some(led) = &mut self.forensics {
+                        led.on_drop(now, lid, dropped.flow, reason, qlen as u32);
+                    }
                     if let Some(a) = &mut self.auditor {
                         a.on_dropped();
                     }
@@ -540,6 +599,8 @@ impl Sim {
                 packet_log: None,
                 auditor: None,
                 telemetry: None,
+                forensics: None,
+                prof: None,
                 pending_arrivals: 0,
                 pending_injects: 0,
                 last_inject: Vec::new(),
@@ -676,6 +737,9 @@ impl Sim {
             }
             self.kernel.now = t;
             self.kernel.stats.events += 1;
+            if let Some(p) = &mut self.kernel.prof {
+                p.on_dispatch(ev.class(), t.as_nanos());
+            }
             match ev {
                 Event::TxEnd { link } => self.kernel.on_tx_end(link),
                 Event::Arrival { link, packet } => {
@@ -776,6 +840,51 @@ impl Sim {
     /// The telemetry store, if [`Sim::enable_telemetry`] was called.
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.kernel.telemetry()
+    }
+
+    /// Enables causal drop forensics (off by default): every kernel drop is
+    /// attributed to the discipline mechanism that caused it
+    /// ([`DropReason`]) and aggregated by reason, flow, link, and time
+    /// interval in a [`DropLedger`]; drops from ≥ `sync_k` distinct flows
+    /// inside one `sync_window` are grouped into synchronized-loss episodes.
+    ///
+    /// The ledger is a pure observer of the kernel's existing drop sites: it
+    /// consumes no randomness and never mutates simulation state, so
+    /// enabling it cannot change the outcome of a run (DESIGN.md §9, §10).
+    pub fn enable_drop_forensics(&mut self, config: ForensicsConfig) {
+        assert!(
+            self.kernel.forensics.is_none(),
+            "enable_drop_forensics() called twice"
+        );
+        self.kernel.forensics = Some(DropLedger::new(config));
+    }
+
+    /// The drop-forensics ledger, if [`Sim::enable_drop_forensics`] was
+    /// called.
+    pub fn forensics(&self) -> Option<&DropLedger> {
+        self.kernel.forensics()
+    }
+
+    /// Enables the self-profiler (off by default): per-event-class dispatch
+    /// counts, inter-event sim-time gap histograms, event-queue high-water
+    /// marks, and reservation counters are collected into a
+    /// [`Profile`]. Everything counted is a deterministic function of the
+    /// event stream — no wall clock is read — so profiles are bit-identical
+    /// across runs of the same seed and enabling the profiler cannot change
+    /// a run's outcome.
+    pub fn enable_profiler(&mut self) {
+        assert!(self.kernel.prof.is_none(), "enable_profiler() called twice");
+        self.kernel.prof = Some(Profile::new(&EVENT_CLASS_LABELS));
+    }
+
+    /// A snapshot of the self-profiler's state, if [`Sim::enable_profiler`]
+    /// was called: the dispatch-level counters plus the event queue's
+    /// high-water mark and reservation statistics as of now.
+    pub fn profile(&self) -> Option<Profile> {
+        let mut p = self.kernel.prof.clone()?;
+        let (calls, slots) = self.kernel.events.reserve_stats();
+        p.set_queue_stats(self.kernel.events.depth_high_water() as u64, calls, slots);
+        Some(p)
     }
 
     /// Enables periodic queue sampling (links opt in via
@@ -1163,6 +1272,74 @@ mod tests {
     }
 
     #[test]
+    fn forensics_and_profiler_do_not_perturb_the_run() {
+        // Same shape as the telemetry purity test: a run with the full
+        // observability stack enabled must be indistinguishable (packet
+        // arrival times) from one without it.
+        let run = |observed: bool| -> Vec<SimTime> {
+            let (mut sim, h0, h1, _lid) = two_host_sim(3);
+            sim.set_send_jitter(SimDuration::from_micros(100));
+            if observed {
+                sim.enable_drop_forensics(ForensicsConfig::new(SimDuration::from_millis(50)));
+                sim.enable_profiler();
+            }
+            let src = UdpSource {
+                flow: FlowId(0),
+                dst: h1,
+                count: 50,
+                size: 500,
+                gap: SimDuration::from_micros(100), // overload: forces drops
+                sent: 0,
+            };
+            sim.add_agent(h0, Box::new(src));
+            let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+            sim.bind_flow(FlowId(0), h1, sink_id);
+            sim.start();
+            sim.run_until(SimTime::from_secs(1));
+            if observed {
+                let led = sim.forensics().expect("enabled");
+                assert!(led.total() > 0, "overloaded queue must record drops");
+                assert_eq!(led.total(), sim.kernel().stats().drops);
+                let prof = sim.profile().expect("enabled");
+                assert_eq!(prof.dispatches(), sim.kernel().stats().events);
+                assert!(prof.depth_high_water() > 0);
+            }
+            sim.agent_as::<UdpSink>(sink_id).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn forensics_attributes_tail_and_random_loss() {
+        let (mut sim, h0, h1, lid) = two_host_sim(2);
+        sim.kernel_mut().link_mut(lid).random_loss = 0.2;
+        sim.enable_drop_forensics(ForensicsConfig::new(SimDuration::from_millis(20)));
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 200,
+            size: 500,
+            gap: SimDuration::from_micros(100),
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+        let led = sim.forensics().expect("enabled");
+        assert!(led.by_reason(DropReason::TailOverflow) > 0);
+        assert!(led.by_reason(DropReason::RandomLoss) > 0);
+        assert_eq!(
+            led.by_reason(DropReason::TailOverflow) + led.by_reason(DropReason::RandomLoss),
+            led.total()
+        );
+        assert_eq!(led.total(), sim.kernel().stats().drops);
+        // Tail-overflow depth snapshots see the full 2-packet buffer.
+        assert_eq!(led.depth_at_drop(lid), Some(2));
+    }
+
+    #[test]
     fn queue_sampling_records_series() {
         let (mut sim, h0, h1, lid) = two_host_sim(100);
         sim.enable_tracing();
@@ -1260,7 +1437,8 @@ mod packet_log_tests {
         // 3 delivered.
         let count = |e: PacketEvent| log.records().iter().filter(|r| r.event == e).count();
         assert_eq!(count(PacketEvent::Queued), 5);
-        assert_eq!(count(PacketEvent::Dropped), 2);
+        let drops = log.records().iter().filter(|r| r.event.is_drop()).count();
+        assert_eq!(drops, 2);
         assert_eq!(count(PacketEvent::Transmitted), 3);
         assert_eq!(count(PacketEvent::Delivered), 3);
         // A delivered packet's own records follow queued -> transmitted ->

@@ -59,6 +59,13 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Total number of events ever scheduled (diagnostic).
     scheduled: u64,
+    /// Deepest the pending set has ever been (diagnostic, see
+    /// [`EventQueue::depth_high_water`]).
+    depth_high_water: usize,
+    /// Calls to [`EventQueue::reserve`] and the slots they requested
+    /// (allocation diagnostics for the self-profiler).
+    reserve_calls: u64,
+    reserved_slots: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -68,6 +75,9 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             scheduled: 0,
+            depth_high_water: 0,
+            reserve_calls: 0,
+            reserved_slots: 0,
         }
     }
 
@@ -77,6 +87,9 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             scheduled: 0,
+            depth_high_water: 0,
+            reserve_calls: 0,
+            reserved_slots: 0,
         }
     }
 
@@ -86,6 +99,8 @@ impl<E> EventQueue<E> {
     /// from scenario parameters so the heap never reallocates mid-run); it
     /// has no observable effect on scheduling order.
     pub fn reserve(&mut self, additional: usize) {
+        self.reserve_calls += 1;
+        self.reserved_slots += additional as u64;
         self.heap.reserve(additional);
     }
 
@@ -96,6 +111,9 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled += 1;
         self.heap.push(Entry { time, seq, event });
+        if self.heap.len() > self.depth_high_water {
+            self.depth_high_water = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -121,6 +139,22 @@ impl<E> EventQueue<E> {
     /// Total number of events scheduled over the queue's lifetime.
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// Deepest the pending set has ever been over the queue's lifetime.
+    ///
+    /// Together with [`EventQueue::reserve_stats`] this is the event-queue
+    /// contribution to the self-profiler: how much concurrency the run
+    /// actually had, and whether the drivers' `reserve` pre-sizing covered
+    /// it.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// `(calls, slots)` totals for [`EventQueue::reserve`] over the queue's
+    /// lifetime.
+    pub fn reserve_stats(&self) -> (u64, u64) {
+        (self.reserve_calls, self.reserved_slots)
     }
 
     /// Drops all pending events.
@@ -191,6 +225,24 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn high_water_and_reserve_stats() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        q.reserve(128);
+        q.reserve(32);
+        assert_eq!(q.reserve_stats(), (2, 160));
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(3), ());
+        q.pop();
+        q.pop();
+        // High-water mark sticks at the peak, not the current depth.
+        q.schedule(SimTime::from_secs(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.depth_high_water(), 3);
     }
 
     #[test]

@@ -24,12 +24,14 @@
 #![deny(missing_docs)]
 pub mod dist;
 pub mod event;
+pub mod prof;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use dist::{Exponential, LogNormal, Normal, Pareto, Uniform, Weibull};
 pub use event::EventQueue;
+pub use prof::Profile;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Ring, TracePoint, TraceSink};

@@ -78,22 +78,24 @@ impl TraceSink {
     }
 }
 
-/// A bounded ring of trace samples.
+/// A bounded ring of trace records.
 ///
-/// Keeps the most recent `capacity` points in insertion (= time) order while
+/// Keeps the most recent `capacity` entries in insertion (= time) order while
 /// counting everything ever pushed, so long runs record at O(1) memory per
-/// series and the telemetry layer can still report how much was seen. Used
-/// by `netsim`'s telemetry sampler.
+/// series and the telemetry layer can still report how much was seen. The
+/// element type defaults to [`TracePoint`] (the telemetry sampler's shape);
+/// other bounded logs — e.g. `tcpsim`'s flow-lifecycle span log — reuse the
+/// same eviction and accounting semantics with their own record type.
 #[derive(Clone, Debug)]
-pub struct Ring {
+pub struct Ring<T = TracePoint> {
     cap: usize,
-    data: Vec<TracePoint>,
+    data: Vec<T>,
     /// Index of the oldest sample once the ring has wrapped.
     head: usize,
     pushed: u64,
 }
 
-impl Ring {
+impl<T> Ring<T> {
     /// Creates an empty ring holding at most `capacity` samples.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
@@ -106,7 +108,7 @@ impl Ring {
     }
 
     /// Appends a sample, evicting the oldest one when full.
-    pub fn push(&mut self, point: TracePoint) {
+    pub fn push(&mut self, point: T) {
         if self.data.len() < self.cap {
             self.data.push(point);
         } else {
@@ -137,7 +139,7 @@ impl Ring {
     }
 
     /// Iterates over the retained samples, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &TracePoint> {
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.data[self.head..].iter().chain(self.data[..self.head].iter())
     }
 }
@@ -175,6 +177,17 @@ mod tests {
         let vals: Vec<f64> = r.iter().map(|p| p.value).collect();
         assert_eq!(vals, vec![0.0, 1.0, 2.0]);
         assert_eq!(r.total_pushed(), 3);
+    }
+
+    #[test]
+    fn ring_is_generic_over_record_type() {
+        let mut r: Ring<(u64, &str)> = Ring::new(2);
+        r.push((1, "a"));
+        r.push((2, "b"));
+        r.push((3, "c"));
+        assert_eq!(r.total_pushed(), 3);
+        let kept: Vec<u64> = r.iter().map(|(t, _)| *t).collect();
+        assert_eq!(kept, vec![2, 3]);
     }
 
     #[test]

@@ -16,15 +16,20 @@ pub enum RuleId {
     LossyCast,
     /// D4: no raw float equality on simulated time.
     FloatTimeEq,
+    /// D5: no `println!`/`eprintln!`/`dbg!` in simulation code — ad-hoc
+    /// prints bypass the structured observability layer (telemetry, packet
+    /// log, spans, forensics) and their cost is invisible to the profiler.
+    PrintMacro,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 4] = [
+    pub const ALL: [RuleId; 5] = [
         RuleId::HashContainer,
         RuleId::WallClock,
         RuleId::LossyCast,
         RuleId::FloatTimeEq,
+        RuleId::PrintMacro,
     ];
 
     /// The rule's name as used in `simlint.toml` and waiver comments.
@@ -34,6 +39,7 @@ impl RuleId {
             RuleId::WallClock => "wall-clock",
             RuleId::LossyCast => "lossy-cast",
             RuleId::FloatTimeEq => "float-time-eq",
+            RuleId::PrintMacro => "print-macro",
         }
     }
 
@@ -57,6 +63,9 @@ impl RuleId {
             RuleId::FloatTimeEq => {
                 "raw float equality on simulated time; compare SimTime (integer ns) or use simcore::time helpers"
             }
+            RuleId::PrintMacro => {
+                "ad-hoc print in simulation code; record through telemetry/spans/forensics so output stays structured and the profiler sees the cost"
+            }
         }
     }
 
@@ -68,6 +77,7 @@ impl RuleId {
             RuleId::WallClock => check_wall_clock(code),
             RuleId::LossyCast => check_lossy_cast(code),
             RuleId::FloatTimeEq => check_float_time_eq(code),
+            RuleId::PrintMacro => check_print_macro(code),
         }
     }
 }
@@ -190,6 +200,20 @@ fn check_float_time_eq(code: &str) -> Option<String> {
     None
 }
 
+fn check_print_macro(code: &str) -> Option<String> {
+    for banned in ["println", "eprintln", "dbg"] {
+        let mut start = 0;
+        while let Some(off) = code[start..].find(banned) {
+            let i = start + off;
+            if word_at(code, i, banned) && code[i + banned.len()..].starts_with('!') {
+                return Some(format!("use of `{banned}!`"));
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +255,19 @@ mod tests {
         assert!(check_lossy_cast("let s = seq as u64;").is_none());
         // Narrowing something insensitive is out of scope for this rule.
         assert!(check_lossy_cast("let i = index as u32;").is_none());
+    }
+
+    #[test]
+    fn print_macro_patterns() {
+        assert!(check_print_macro("println!(\"cwnd = {cwnd}\");").is_some());
+        assert!(check_print_macro("eprintln!(\"drop at {t}\");").is_some());
+        assert!(check_print_macro("let x = dbg!(cwnd);").is_some());
+        // Only the macro form is banned; identifiers merely containing the
+        // name, or calls without `!`, are fine.
+        assert!(check_print_macro("fn println_like() {}").is_none());
+        assert!(check_print_macro("self.println(buf);").is_none());
+        assert!(check_print_macro("let dbg = 3;").is_none());
+        assert!(check_print_macro("writeln!(out, \"ok\")?;").is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::receiver::{SackRanges, TcpReceiver};
 use crate::sack::SackSender;
 use crate::sender::{TcpAction, TcpSender};
 use crate::seq::{to_wire, unwrap_relative, SeqUnwrapper};
+use crate::span::{SpanDetector, SpanLog, SpanSnapshot};
 use netsim::{Agent, Ctx, FlowId, NodeId, Packet, PacketKind, TcpFlags, TcpHeader};
 use simcore::{SimDuration, SimTime};
 use std::any::Any;
@@ -58,6 +59,8 @@ pub struct TcpSource {
     pacing: bool,
     pace_queue: std::collections::VecDeque<(u64, bool, bool)>,
     pace_armed: bool,
+    /// Lifecycle span tracing (see [`crate::span`]); off by default.
+    spans: Option<SpanDetector>,
 }
 
 impl TcpSource {
@@ -93,6 +96,7 @@ impl TcpSource {
             pacing: false,
             pace_queue: std::collections::VecDeque::new(),
             pace_armed: false,
+            spans: None,
         }
     }
 
@@ -115,6 +119,35 @@ impl TcpSource {
     pub fn with_cwnd_trace(mut self) -> Self {
         self.trace_cwnd = true;
         self
+    }
+
+    /// Enables lifecycle span tracing: congestion-control transitions
+    /// (slow-start exit, fast retransmit, recovery exit, RTO) are recorded
+    /// into a bounded [`SpanLog`] of `capacity` records (see
+    /// [`crate::span`]). A pure observer — it reads sender state around
+    /// each input and never perturbs the run.
+    pub fn with_span_log(mut self, capacity: usize) -> Self {
+        self.spans = Some(SpanDetector::new(self.flow, capacity));
+        self
+    }
+
+    /// The lifecycle span log, if [`TcpSource::with_span_log`] was used.
+    pub fn span_log(&self) -> Option<&SpanLog> {
+        self.spans.as_ref().map(|d| d.log())
+    }
+
+    /// Snapshots sender observables if span tracing is on (pair with
+    /// [`TcpSource::span_diff`]).
+    fn span_snap(&self) -> Option<SpanSnapshot> {
+        self.spans.as_ref().map(|d| d.before(self.sender.as_ref()))
+    }
+
+    /// Diffs the sender against a [`TcpSource::span_snap`] snapshot and
+    /// logs any transition.
+    fn span_diff(&mut self, now: SimTime, before: Option<SpanSnapshot>) {
+        if let (Some(d), Some(b)) = (self.spans.as_mut(), before) {
+            d.after(now, b, self.sender.as_ref());
+        }
     }
 
     /// Creates a SACK source (RFC 2018/3517-style recovery).
@@ -242,7 +275,9 @@ impl Agent for TcpSource {
                 ts_echo: hdr.ts,
                 sack,
             };
+            let before = self.span_snap();
             let actions = self.sender.on_ack(ctx.now(), &info);
+            self.span_diff(ctx.now(), before);
             self.apply(actions, ctx);
         }
     }
@@ -257,7 +292,9 @@ impl Agent for TcpSource {
         } else if token == TOKEN_PACE {
             self.pace_pop(ctx);
         } else {
+            let before = self.span_snap();
             let actions = self.sender.on_rto(ctx.now(), token);
+            self.span_diff(ctx.now(), before);
             self.apply(actions, ctx);
         }
     }
@@ -541,6 +578,68 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         let sink = sim.agent_as::<TcpSink>(sink_id).unwrap();
         assert!(sink.record().is_some(), "delayed-ack flow must complete");
+    }
+
+    #[test]
+    fn span_log_records_sawtooth_transitions_without_perturbing() {
+        use crate::span::SpanKind;
+        // A long flow in a small buffer produces the classic sawtooth:
+        // fast retransmits with cwnd halvings, and recovery exits.
+        let run = |spans: bool| -> (Sim, netsim::AgentId) {
+            let mut sim = Sim::new(7);
+            let d = DumbbellBuilder::new(10_000_000, SimDuration::from_millis(5))
+                .buffer_packets(10)
+                .flows(1, SimDuration::from_millis(10))
+                .build(&mut sim);
+            let flow = FlowId(0);
+            let cfg = TcpConfig::default();
+            let mut src = TcpSource::new(flow, d.sinks[0], cfg, Box::new(Reno), None);
+            if spans {
+                src = src.with_span_log(4096);
+            }
+            let src_id = sim.add_agent(d.sources[0], Box::new(src));
+            let sink_id = sim.add_agent(d.sinks[0], Box::new(TcpSink::new(flow, &cfg)));
+            sim.bind_flow(flow, d.sinks[0], sink_id);
+            sim.bind_flow(flow, d.sources[0], src_id);
+            sim.start();
+            sim.run_until(SimTime::from_secs(30));
+            (sim, src_id)
+        };
+
+        let (base, base_id) = run(false);
+        let (traced, traced_id) = run(true);
+        // Purity: span tracing must not change the sender's trajectory.
+        let b = base.agent_as::<TcpSource>(base_id).unwrap();
+        let t = traced.agent_as::<TcpSource>(traced_id).unwrap();
+        assert_eq!(b.sender().stats(), t.sender().stats());
+        assert_eq!(base.kernel().stats().drops, traced.kernel().stats().drops);
+
+        let log = t.span_log().expect("enabled");
+        let st = t.sender().stats();
+        let count =
+            |k: SpanKind| log.iter().filter(|r| r.kind == k).count() as u64;
+        // Every counted fast retransmit / timeout appears as a span, and
+        // each fast retransmit halves the window.
+        assert_eq!(count(SpanKind::FastRetransmit), st.fast_retransmits);
+        assert_eq!(count(SpanKind::Rto), st.timeouts);
+        assert!(st.fast_retransmits >= 3, "{st:?}");
+        // Each fast retransmit resets cwnd to ssthresh = flight/2, and each
+        // recovery ends with a matching exit span (the last recovery may
+        // still be open when the run stops).
+        for r in log.iter().filter(|r| r.kind == SpanKind::FastRetransmit) {
+            assert_eq!(r.cwnd_after, r.ssthresh_after, "{r:?}");
+        }
+        let exits = count(SpanKind::RecoveryExit);
+        assert!(
+            exits >= st.fast_retransmits - 1,
+            "exits = {exits}, {st:?}"
+        );
+        // The join key works: every record carries the flow id.
+        assert_eq!(log.for_flow(FlowId(0)).count(), log.len());
+        assert_eq!(log.for_flow(FlowId(9)).count(), 0);
+        // Records land in time order (single flow, monotone clock).
+        let times: Vec<u64> = log.iter().map(|r| r.time.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

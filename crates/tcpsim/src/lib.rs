@@ -35,6 +35,7 @@ pub mod rtt;
 pub mod sack;
 pub mod sender;
 pub mod seq;
+pub mod span;
 
 pub use agent::{FlowRecord, TcpSink, TcpSource};
 pub use cc::{CcState, CongestionControl, Cubic, FixedWindow, NewReno, Reno};
@@ -44,3 +45,4 @@ pub use receiver::TcpReceiver;
 pub use sack::SackSender;
 pub use rtt::RttEstimator;
 pub use sender::{SenderState, TcpAction, TcpSender};
+pub use span::{SpanDetector, SpanKind, SpanLog, SpanRecord};

@@ -56,6 +56,10 @@ pub trait SenderMachine: Send {
     fn next_seq(&self) -> u64;
     /// True once a finite flow is fully acknowledged.
     fn is_completed(&self) -> bool;
+    /// True while the sender is in loss recovery (Reno fast recovery, SACK
+    /// recovery). A pure observable, used by span detection
+    /// ([`crate::span`]) to report recovery entry/exit transitions.
+    fn in_recovery(&self) -> bool;
     /// Counters.
     fn stats(&self) -> SenderStats;
     /// RTT estimator (diagnostics).
@@ -95,6 +99,9 @@ impl SenderMachine for TcpSender {
     }
     fn is_completed(&self) -> bool {
         TcpSender::is_completed(self)
+    }
+    fn in_recovery(&self) -> bool {
+        TcpSender::state(self) == crate::sender::SenderState::FastRecovery
     }
     fn stats(&self) -> SenderStats {
         TcpSender::stats(self)

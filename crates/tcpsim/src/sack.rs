@@ -356,6 +356,9 @@ impl SenderMachine for SackSender {
     fn is_completed(&self) -> bool {
         self.completed
     }
+    fn in_recovery(&self) -> bool {
+        SackSender::in_recovery(self)
+    }
     fn stats(&self) -> SenderStats {
         self.stats
     }

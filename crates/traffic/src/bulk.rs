@@ -62,6 +62,9 @@ pub struct BulkWorkload {
     pub trace_cwnd: bool,
     /// Pace transmissions at cwnd/RTT (extension experiment).
     pub pacing: bool,
+    /// Give every source a lifecycle span log of this capacity (see
+    /// `tcpsim::span`); `None` leaves span tracing off.
+    pub span_capacity: Option<usize>,
 }
 
 impl Default for BulkWorkload {
@@ -72,6 +75,7 @@ impl Default for BulkWorkload {
             start_window: SimDuration::from_secs(5),
             trace_cwnd: false,
             pacing: false,
+            span_capacity: None,
         }
     }
 }
@@ -104,6 +108,9 @@ impl BulkWorkload {
             }
             if self.pacing {
                 source = source.with_pacing();
+            }
+            if let Some(cap) = self.span_capacity {
+                source = source.with_span_log(cap);
             }
             let source_id = sim.add_agent(src_node, Box::new(source));
             let sink_id = sim.add_agent(sink_node, Box::new(TcpSink::new(flow, &self.cfg)));

@@ -9,7 +9,7 @@
 //! drop (d), transmission (-) and delivery (r) — then summarizes the
 //! retransmission that repairs the slow-start overshoot.
 
-use netsim::{DumbbellBuilder, FlowId, PacketEvent, QueueCapacity, Sim};
+use netsim::{DumbbellBuilder, FlowId, QueueCapacity, Sim};
 use simcore::{SimDuration, SimTime};
 use tcpsim::{Reno, TcpConfig, TcpSink, TcpSource};
 
@@ -38,7 +38,7 @@ fn main() {
     let drops = log
         .records()
         .iter()
-        .filter(|r| r.event == PacketEvent::Dropped)
+        .filter(|r| r.event.is_drop())
         .count();
     let src = sim.agent_as::<TcpSource>(src_id).unwrap();
     let sink = sim.agent_as::<TcpSink>(sink_id).unwrap();

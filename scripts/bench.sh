@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable perf baseline: builds release binaries,
-# runs the parallel-sweep benchmark (cell grid + full `repro --quick`) at
-# --jobs 1 vs --jobs N, and writes artifacts/BENCH_sweep.json. Fully
-# offline; run from anywhere inside the repo.
+# runs the parallel-sweep benchmark (cell grid with the self-profiler off
+# and on — the profiled arm checks the <= 5% overhead contract of
+# DESIGN.md §10 — plus full `repro --quick`) at --jobs 1 vs --jobs N, and
+# writes artifacts/BENCH_sweep.json. Fully offline; run from anywhere
+# inside the repo.
+#
+# Note: the repro arm rewrites artifacts/ at --quick scale; restore the
+# committed full-scale artifacts afterwards (git checkout -- artifacts)
+# before regenerating RESULTS.md.
 #
 # Usage: scripts/bench.sh [jobs]   (default: all cores)
 set -euo pipefail
