@@ -6,8 +6,8 @@
 //! Run with `cargo bench -p bench --bench engine`.
 
 use bench::harness::bench;
-use netsim::{DropTail, DumbbellBuilder, FlowId, Packet, PacketKind, Queue, Sim};
-use simcore::{EventQueue, Rng, SimDuration, SimTime};
+use netsim::{DropTail, DumbbellBuilder, FlowId, PacketRef, Queue, QueuedPacket, Sim};
+use simcore::{EventQueue, Rng, SimDuration, SimTime, TimerWheel};
 use std::hint::black_box;
 use tcpsim::cc::Reno;
 use tcpsim::{TcpConfig, TcpSink, TcpSource};
@@ -17,6 +17,20 @@ fn bench_event_queue() {
         let mut q = EventQueue::with_capacity(1024);
         for i in 0..1024u64 {
             // Pseudo-random times to exercise heap reordering.
+            q.schedule(
+                SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
+                i,
+            );
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
+    });
+    bench("timer_wheel/schedule_pop_1024", 200, 1024, || {
+        let mut q = TimerWheel::with_capacity(1024);
+        for i in 0..1024u64 {
             q.schedule(
                 SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
                 i,
@@ -53,15 +67,11 @@ fn bench_droptail() {
     let mut rng = Rng::new(1);
     bench("droptail/enqueue_dequeue_256", 200, 256, || {
         let mut q = DropTail::with_packets(256);
-        for i in 0..256u64 {
-            let pkt = Packet {
-                uid: i,
+        for i in 0..256u32 {
+            let pkt = QueuedPacket {
+                pref: PacketRef(i),
                 flow: FlowId(0),
-                src: netsim::NodeId(0),
-                dst: netsim::NodeId(1),
                 size: 1000,
-                kind: PacketKind::Udp { seq: i },
-                created: SimTime::ZERO,
             };
             let _ = q.enqueue(pkt, SimTime::ZERO, &mut rng);
         }

@@ -7,9 +7,9 @@
 //! machine-readable JSON report (default `artifacts/BENCH_sweep.json`,
 //! override with `--out <path>`) so future performance work has a
 //! committed trajectory to compare against.
-use bench::harness::{sweep_json, SweepSection};
+use bench::harness::{sweep_json_with_events, EventRates, SweepSection};
 use buffersizing::prelude::*;
-use simcore::Profile;
+use simcore::{Profile, SchedulerKind};
 use std::process::{Command, Stdio};
 
 /// Folds the per-cell profiles into the fleet aggregate, in input order.
@@ -121,7 +121,31 @@ fn main() {
         }));
     }
 
-    let json = sweep_json(cores, &sections);
+    // Event-dispatch throughput: per-class dispatch counts from the merged
+    // profile over the profiled sequential sweep's wall time, tagged with
+    // the scheduler that produced them (the cells run on the default).
+    let prof_wall = sections
+        .iter()
+        .find(|s| s.name == "long_flow_cells_profiled")
+        .and_then(|s| s.samples.iter().find(|x| x.jobs == 1))
+        .map(|x| x.wall_s)
+        .expect("profiled section has a jobs=1 sample");
+    let events = EventRates {
+        scheduler: SchedulerKind::default().name().to_string(),
+        wall_s: prof_wall,
+        classes: prof_reference
+            .counts()
+            .map(|(label, n)| (label.to_string(), n))
+            .collect(),
+    };
+    println!(
+        "events: {} dispatches at {:.2} M events/s ({} scheduler)\n",
+        events.total(),
+        events.total() as f64 / prof_wall.max(1e-12) / 1e6,
+        events.scheduler
+    );
+
+    let json = sweep_json_with_events(cores, &sections, Some(&events));
     let path = out_flag();
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).expect("creating output dir");

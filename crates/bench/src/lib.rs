@@ -210,9 +210,72 @@ pub mod harness {
         }
     }
 
+    /// Event-throughput summary for `BENCH_sweep.json`: how fast the kernel
+    /// dispatches events, broken down by event class, and which scheduler
+    /// produced the numbers. Derived from the self-profiler's per-class
+    /// dispatch counters over a timed sweep.
+    #[derive(Clone, Debug)]
+    pub struct EventRates {
+        /// Scheduler implementation the cells ran on (e.g. `"wheel"`).
+        pub scheduler: String,
+        /// Wall time of the profiled sweep the counts come from, seconds.
+        pub wall_s: f64,
+        /// `(class label, dispatch count)` in dispatch-code order.
+        pub classes: Vec<(String, u64)>,
+    }
+
+    impl EventRates {
+        /// Total dispatches across all classes.
+        pub fn total(&self) -> u64 {
+            self.classes.iter().map(|(_, n)| n).sum()
+        }
+    }
+
     /// Renders the `BENCH_sweep.json` document: machine context plus one
     /// entry per sweep section. Hand-rolled JSON — no serde in the tree.
     pub fn sweep_json(cores: usize, sections: &[SweepSection]) -> String {
+        sweep_json_with_events(cores, sections, None)
+    }
+
+    /// [`sweep_json`] plus an optional `events_per_s` block recording the
+    /// kernel's event-dispatch throughput per class and the scheduler that
+    /// produced it.
+    pub fn sweep_json_with_events(
+        cores: usize,
+        sections: &[SweepSection],
+        events: Option<&EventRates>,
+    ) -> String {
+        let mut out = sweep_json_sections(cores, sections);
+        if let Some(ev) = events {
+            let wall = ev.wall_s.max(1e-12);
+            out.push_str(",\n  \"events_per_s\": {\n");
+            out.push_str(&format!("    \"scheduler\": \"{}\",\n", ev.scheduler));
+            out.push_str(&format!("    \"wall_s\": {:.4},\n", ev.wall_s));
+            out.push_str(&format!("    \"total\": {},\n", ev.total()));
+            out.push_str(&format!(
+                "    \"total_per_s\": {:.1},\n",
+                ev.total() as f64 / wall
+            ));
+            out.push_str("    \"classes\": [\n");
+            for (i, (label, count)) in ev.classes.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"class\": \"{}\", \"count\": {}, \"per_s\": {:.1}}}{}\n",
+                    label,
+                    count,
+                    *count as f64 / wall,
+                    if i + 1 < ev.classes.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The document body up to (and including) the closing `]` of the
+    /// sections array — no trailing newline or outer brace, so callers can
+    /// append further top-level keys.
+    fn sweep_json_sections(cores: usize, sections: &[SweepSection]) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"benchmark\": \"sweep\",\n");
         out.push_str(&format!("  \"cores\": {cores},\n"));
@@ -238,7 +301,7 @@ pub mod harness {
                 if i + 1 < sections.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
         out
     }
 

@@ -15,7 +15,7 @@ use netsim::{
     DropLedger, DumbbellBuilder, ForensicsConfig, LinkId, PacketRecord, QueueCapacity, Red, Sim,
     TelemetryConfig,
 };
-use simcore::{Profile, Rng, SimDuration, SimTime};
+use simcore::{Profile, Rng, SchedulerKind, SimDuration, SimTime};
 use stats::FctCollector;
 use tcpsim::{SpanLog, TcpConfig, TcpSink, TcpSource};
 use traffic::bulk::CcKind;
@@ -75,6 +75,9 @@ pub struct LongFlowScenario {
     /// counts, sim-time gap histogram, event-queue high-water marks). Pure
     /// observer; the result then carries the profile.
     pub profiler: bool,
+    /// Event-scheduler implementation (timer wheel by default; the binary
+    /// heap is retained as a differential oracle — results are identical).
+    pub scheduler: SchedulerKind,
     /// Master seed.
     pub seed: u64,
     /// Warm-up excluded from measurement.
@@ -88,6 +91,7 @@ impl LongFlowScenario {
     pub fn oc3(n_flows: usize) -> Self {
         LongFlowScenario {
             n_flows,
+            scheduler: SchedulerKind::default(),
             bottleneck_rate: 155_000_000,
             bottleneck_delay: SimDuration::from_millis(10),
             rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(120)),
@@ -113,6 +117,7 @@ impl LongFlowScenario {
     pub fn quick(n_flows: usize, rate_bps: u64) -> Self {
         LongFlowScenario {
             n_flows,
+            scheduler: SchedulerKind::default(),
             bottleneck_rate: rate_bps,
             bottleneck_delay: SimDuration::from_millis(5),
             rtt_range: (SimDuration::from_millis(30), SimDuration::from_millis(90)),
@@ -165,7 +170,7 @@ impl LongFlowScenario {
     }
 
     fn build(&self) -> (Sim, netsim::Dumbbell, Vec<FlowHandle>) {
-        let mut sim = Sim::new(self.seed);
+        let mut sim = Sim::with_scheduler(self.seed, self.scheduler);
         // Steady state holds roughly one window of events per flow (data +
         // ACK per in-flight segment, timers, deferred injections) plus the
         // queued bottleneck packets; pre-size the event heap so it never
@@ -479,6 +484,9 @@ pub struct ShortFlowScenario {
     pub buffer_pkts: usize,
     /// Number of host pairs flows are spread over.
     pub host_pairs: usize,
+    /// Event-scheduler implementation (timer wheel by default; the binary
+    /// heap is retained as a differential oracle — results are identical).
+    pub scheduler: SchedulerKind,
     /// TCP configuration (`max_window` = the §4 OS cap).
     pub cfg: TcpConfig,
     /// Flow arrivals are generated over this horizon; the run then drains
@@ -493,6 +501,7 @@ impl ShortFlowScenario {
     /// cap (the UNIX default cited in §4).
     pub fn paper_default(rate_bps: u64, load: f64) -> Self {
         ShortFlowScenario {
+            scheduler: SchedulerKind::default(),
             bottleneck_rate: rate_bps,
             bottleneck_delay: SimDuration::from_millis(10),
             rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(120)),
@@ -518,7 +527,7 @@ impl ShortFlowScenario {
 
     /// Runs the scenario.
     pub fn run(&self) -> ShortFlowResult {
-        let mut sim = Sim::new(self.seed);
+        let mut sim = Sim::with_scheduler(self.seed, self.scheduler);
         let mut rng = Rng::new(self.seed ^ 0xDEAD_BEEF_0BAD_F00D);
         let (lo, hi) = self.rtt_range;
         let delays: Vec<SimDuration> = (0..self.host_pairs)
@@ -611,7 +620,7 @@ pub struct MixScenario {
 impl MixScenario {
     /// Runs the mix and reports both sides.
     pub fn run(&self) -> MixResult {
-        let mut sim = Sim::new(self.long.seed);
+        let mut sim = Sim::with_scheduler(self.long.seed, self.long.scheduler);
         if let Some(j) = self.long.jitter {
             sim.set_send_jitter(j);
         }

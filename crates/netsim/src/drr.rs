@@ -14,8 +14,7 @@
 //! longest-queue packet is evicted in its favour.
 
 use crate::forensics::DropReason;
-use crate::packet::Packet;
-use crate::queue::{Queue, QueueCapacity};
+use crate::queue::{Queue, QueueCapacity, QueuedPacket};
 use simcore::{Rng, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -23,7 +22,7 @@ use std::collections::{BTreeMap, VecDeque};
 pub struct Drr {
     /// Per-flow FIFO queues, keyed by flow id value. Ordered map so that
     /// longest-queue ties break by flow id, not hasher state.
-    queues: BTreeMap<u32, VecDeque<Packet>>,
+    queues: BTreeMap<u32, VecDeque<QueuedPacket>>,
     /// Active flows in round-robin order.
     round: VecDeque<u32>,
     /// Per-flow deficit counters (bytes).
@@ -65,7 +64,7 @@ impl Drr {
             .map(|(&f, _)| f)
     }
 
-    fn push_flow(&mut self, pkt: Packet) {
+    fn push_flow(&mut self, pkt: QueuedPacket) {
         let f = pkt.flow.0;
         let q = self.queues.entry(f).or_default();
         if q.is_empty() && !self.round.contains(&f) {
@@ -77,7 +76,7 @@ impl Drr {
         q.push_back(pkt);
     }
 
-    fn evict_from(&mut self, f: u32) -> Option<Packet> {
+    fn evict_from(&mut self, f: u32) -> Option<QueuedPacket> {
         let q = self.queues.get_mut(&f)?;
         let victim = q.pop_front()?;
         self.total_pkts -= 1;
@@ -87,7 +86,12 @@ impl Drr {
 }
 
 impl Queue for Drr {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime, _rng: &mut Rng) -> Result<(), Packet> {
+    fn enqueue(
+        &mut self,
+        pkt: QueuedPacket,
+        _now: SimTime,
+        _rng: &mut Rng,
+    ) -> Result<(), QueuedPacket> {
         if self.total_pkts < self.capacity_pkts {
             self.push_flow(pkt);
             return Ok(());
@@ -106,7 +110,7 @@ impl Queue for Drr {
         Err(victim)
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
         // At most two passes: a flow whose head exceeds its deficit gets a
         // quantum and rotates; with quantum >= MTU every flow sends within
         // one extra visit.
@@ -164,25 +168,20 @@ impl Queue for Drr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, PacketKind};
-    use crate::sim::NodeId;
+    use crate::packet::{FlowId, PacketRef};
 
-    fn pkt(flow: u32, uid: u64, size: u32) -> Packet {
-        Packet {
-            uid,
+    fn pkt(flow: u32, uid: u32, size: u32) -> QueuedPacket {
+        QueuedPacket {
+            pref: PacketRef(uid),
             flow: FlowId(flow),
-            src: NodeId(0),
-            dst: NodeId(1),
             size,
-            kind: PacketKind::Udp { seq: uid },
-            created: SimTime::ZERO,
         }
     }
 
     fn drain(q: &mut Drr) -> Vec<(u32, u64)> {
         let mut out = Vec::new();
         while let Some(p) = q.dequeue(SimTime::ZERO) {
-            out.push((p.flow.0, p.uid));
+            out.push((p.flow.0, p.pref.0 as u64));
         }
         out
     }
@@ -258,7 +257,7 @@ mod tests {
             q.enqueue(pkt(0, i, 1000), SimTime::ZERO, &mut rng).unwrap();
         }
         let res = q.enqueue(pkt(0, 99, 1000), SimTime::ZERO, &mut rng);
-        assert_eq!(res.unwrap_err().uid, 99);
+        assert_eq!(res.unwrap_err().pref, PacketRef(99));
         assert_eq!(q.len_packets(), 5);
     }
 

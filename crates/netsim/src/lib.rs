@@ -49,8 +49,9 @@ pub use link::Link;
 pub use monitor::LinkMonitor;
 pub use node::{Node, NodeKind, RouteTable};
 pub use parking_lot::{ParkingLot, ParkingLotBuilder};
-pub use packet::{FlowId, Packet, PacketKind, SackBlocks, TcpFlags, TcpHeader};
-pub use queue::{DropTail, Queue, QueueCapacity};
+pub use packet::{FlowId, Packet, PacketArena, PacketKind, PacketRef, SackBlocks, TcpFlags, TcpHeader};
+pub use queue::{DropTail, Queue, QueueCapacity, QueuedPacket};
 pub use red::Red;
 pub use sim::{Agent, AgentId, Ctx, LinkId, NodeId, Sim};
+pub use simcore::SchedulerKind;
 pub use telemetry::{Telemetry, TelemetryConfig};

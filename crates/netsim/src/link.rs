@@ -7,7 +7,7 @@
 
 use crate::monitor::LinkMonitor;
 use crate::packet::Packet;
-use crate::queue::{DropTail, Queue, QueueCapacity};
+use crate::queue::{DropTail, LinkQueue, Queue, QueueCapacity};
 use crate::sim::NodeId;
 use simcore::SimDuration;
 
@@ -23,8 +23,9 @@ pub struct Link {
     pub rate_bps: u64,
     /// One-way propagation delay.
     pub delay: SimDuration,
-    /// The output queue (drop-tail by default; RED optional).
-    pub queue: Box<dyn Queue>,
+    /// The output queue (drop-tail by default, stored inline for static
+    /// dispatch; RED/DRR take the boxed fallback).
+    pub queue: LinkQueue,
     /// True while a packet is being serialized.
     pub busy: bool,
     /// Measurement counters.
@@ -54,7 +55,7 @@ impl Link {
             to,
             rate_bps,
             delay,
-            queue: Box::new(DropTail::new(capacity)),
+            queue: LinkQueue::DropTail(DropTail::new(capacity)),
             busy: false,
             monitor: LinkMonitor::new(),
             sample_queue: false,
@@ -64,7 +65,7 @@ impl Link {
 
     /// Replaces the output queue (e.g. with RED).
     pub fn with_queue(mut self, queue: Box<dyn Queue>) -> Self {
-        self.queue = queue;
+        self.queue = queue.into();
         self
     }
 

@@ -142,6 +142,89 @@ impl Packet {
     pub const DEFAULT_DATA_SIZE: u32 = 1000;
 }
 
+/// A dense handle into a [`PacketArena`] slot.
+///
+/// Everything on the kernel hot path — event-queue entries, link output
+/// queues, the per-link in-flight slot — carries this 4-byte ref instead of
+/// the ~100-byte [`Packet`], so a packet's bytes are copied exactly twice
+/// per network traversal: once into the arena at injection
+/// ([`PacketArena::alloc`]) and once out at delivery or drop
+/// ([`PacketArena::take`] / [`PacketArena::release`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketRef(pub u32);
+
+impl PacketRef {
+    /// The ref as a dense slot index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A slab of [`Packet`]s with free-list recycling.
+///
+/// Slots are allocated once and reused for the arena's lifetime, so
+/// steady-state packet churn performs no heap allocation. Allocation order
+/// is a pure function of the event stream (LIFO free-list), and refs never
+/// appear in logs or artifacts (those key on `Packet::uid`), so the arena
+/// cannot perturb determinism or digests.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Stores `pkt`, returning its ref. Reuses a freed slot when available.
+    #[inline]
+    pub fn alloc(&mut self, pkt: Packet) -> PacketRef {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = pkt;
+                PacketRef(i)
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(pkt);
+                PacketRef(i)
+            }
+        }
+    }
+
+    /// Reads a live packet.
+    #[inline]
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        &self.slots[r.idx()]
+    }
+
+    /// Frees the slot and returns the packet by value (delivery path).
+    #[inline]
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        self.free.push(r.0);
+        self.slots[r.idx()].clone()
+    }
+
+    /// Frees the slot, discarding the packet (drop path).
+    #[inline]
+    pub fn release(&mut self, r: PacketRef) {
+        self.free.push(r.0);
+    }
+
+    /// Live packet count (slots in use).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (the arena's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +247,36 @@ mod tests {
     #[test]
     fn flow_index() {
         assert_eq!(FlowId(7).index(), 7);
+    }
+
+    fn pkt(uid: u64) -> Packet {
+        Packet {
+            uid,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1000,
+            kind: PacketKind::Udp { seq: uid },
+            created: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn arena_recycles_slots_lifo() {
+        let mut a = PacketArena::new();
+        let r0 = a.alloc(pkt(10));
+        let r1 = a.alloc(pkt(11));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(r0).uid, 10);
+        assert_eq!(a.take(r1).uid, 11);
+        assert_eq!(a.live(), 1);
+        // The freed slot is reused before the slab grows.
+        let r2 = a.alloc(pkt(12));
+        assert_eq!(r2, r1);
+        assert_eq!(a.capacity(), 2);
+        a.release(r0);
+        a.release(r2);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.capacity(), 2);
     }
 }

@@ -3,9 +3,15 @@
 //! The paper's router model is "a single FIFO queue with drop-tail" (§5.1);
 //! RED lives in [`crate::red`]. The buffer limit is expressed in packets or
 //! bytes via [`QueueCapacity`]; the paper sizes buffers in packets.
+//!
+//! Queues operate on [`QueuedPacket`] — an arena ref plus the two metadata
+//! fields disciplines actually consult (flow for DRR, wire size for byte
+//! accounting) — so enqueue/dequeue moves 12 bytes, not a whole
+//! [`Packet`](crate::packet::Packet); the packet body stays put in the
+//! kernel's [`PacketArena`](crate::packet::PacketArena).
 
 use crate::forensics::DropReason;
-use crate::packet::Packet;
+use crate::packet::{FlowId, PacketRef};
 use simcore::{Rng, SimTime};
 
 /// How a queue's capacity is expressed.
@@ -28,17 +34,37 @@ impl QueueCapacity {
     }
 }
 
+/// What a queue stores per packet: the arena ref plus the metadata queueing
+/// disciplines need without arena access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Handle to the packet body in the kernel's arena.
+    pub pref: PacketRef,
+    /// The packet's flow (consulted by per-flow disciplines like DRR).
+    pub flow: FlowId,
+    /// Wire size in bytes (byte-capacity accounting, DRR deficits).
+    pub size: u32,
+}
+
 /// An output queue attached to a link.
 ///
-/// `enqueue` returns `Err(packet)` when the packet is rejected (dropped); the
-/// kernel accounts the drop. Queues may consult the RNG (RED does) and the
-/// current time (for averaging), which is why both are threaded through.
+/// `enqueue` returns `Err(victim)` when a packet is rejected (dropped); the
+/// kernel accounts the drop. The victim is usually the offered packet, but
+/// disciplines with buffer stealing (DRR's longest-queue drop) may admit
+/// the newcomer and return a different queued packet as the drop. Queues
+/// may consult the RNG (RED does) and the current time (for averaging),
+/// which is why both are threaded through.
 pub trait Queue: Send {
     /// Offers a packet to the queue.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut Rng) -> Result<(), Packet>;
+    fn enqueue(
+        &mut self,
+        pkt: QueuedPacket,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Result<(), QueuedPacket>;
 
     /// Removes the packet at the head of the queue.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket>;
 
     /// Number of packets currently waiting.
     fn len_packets(&self) -> usize;
@@ -68,10 +94,124 @@ pub trait Queue: Send {
     fn as_any(&self) -> &dyn std::any::Any;
 }
 
+/// The queue slot on a [`Link`](crate::link::Link): the ubiquitous
+/// drop-tail FIFO inline, anything else boxed.
+///
+/// Every packet crosses `enqueue`/`dequeue` on every hop, and with a
+/// `Box<dyn Queue>` those are indirect calls the optimizer cannot see
+/// through. Nearly every link in the paper's experiments is drop-tail
+/// (§5.1), so that variant is stored inline and dispatched statically —
+/// the calls inline into the kernel's hot path — while RED/DRR and other
+/// disciplines take the dynamic fallback.
+pub enum LinkQueue {
+    /// Inline drop-tail FIFO (statically dispatched).
+    DropTail(DropTail),
+    /// Any other discipline, behind the [`Queue`] trait object.
+    Dyn(Box<dyn Queue>),
+}
+
+impl LinkQueue {
+    /// Offers a packet to the queue (see [`Queue::enqueue`]).
+    #[inline]
+    pub fn enqueue(
+        &mut self,
+        pkt: QueuedPacket,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Result<(), QueuedPacket> {
+        match self {
+            LinkQueue::DropTail(q) => q.enqueue(pkt, now, rng),
+            LinkQueue::Dyn(q) => q.enqueue(pkt, now, rng),
+        }
+    }
+
+    /// Removes the packet at the head of the queue.
+    #[inline]
+    pub fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
+        match self {
+            LinkQueue::DropTail(q) => q.dequeue(now),
+            LinkQueue::Dyn(q) => q.dequeue(now),
+        }
+    }
+
+    /// Number of packets currently waiting.
+    #[inline]
+    pub fn len_packets(&self) -> usize {
+        match self {
+            LinkQueue::DropTail(q) => q.items.len(),
+            LinkQueue::Dyn(q) => q.len_packets(),
+        }
+    }
+
+    /// Number of bytes currently waiting.
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        match self {
+            LinkQueue::DropTail(q) => q.bytes,
+            LinkQueue::Dyn(q) => q.len_bytes(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> QueueCapacity {
+        match self {
+            LinkQueue::DropTail(q) => q.capacity,
+            LinkQueue::Dyn(q) => q.capacity(),
+        }
+    }
+
+    /// True iff no packets are waiting.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+
+    /// The mechanism behind the most recent `enqueue` rejection (see
+    /// [`Queue::last_drop_reason`]).
+    pub fn last_drop_reason(&self) -> DropReason {
+        match self {
+            LinkQueue::DropTail(_) => DropReason::TailOverflow,
+            LinkQueue::Dyn(q) => q.last_drop_reason(),
+        }
+    }
+
+    /// Upcast for downcasting to a concrete queue type.
+    pub fn as_any(&self) -> &dyn std::any::Any {
+        match self {
+            LinkQueue::DropTail(q) => q,
+            LinkQueue::Dyn(q) => q.as_any(),
+        }
+    }
+}
+
+impl From<Box<dyn Queue>> for LinkQueue {
+    fn from(q: Box<dyn Queue>) -> Self {
+        LinkQueue::Dyn(q)
+    }
+}
+
+impl From<DropTail> for LinkQueue {
+    fn from(q: DropTail) -> Self {
+        LinkQueue::DropTail(q)
+    }
+}
+
+impl std::fmt::Debug for LinkQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkQueue::DropTail(q) => q.fmt(f),
+            LinkQueue::Dyn(q) => f
+                .debug_struct("LinkQueue::Dyn")
+                .field("len_packets", &q.len_packets())
+                .finish(),
+        }
+    }
+}
+
 /// A FIFO queue that drops arriving packets when full (drop-tail).
 #[derive(Debug)]
 pub struct DropTail {
-    items: std::collections::VecDeque<Packet>,
+    items: std::collections::VecDeque<QueuedPacket>,
     bytes: u64,
     capacity: QueueCapacity,
 }
@@ -83,7 +223,7 @@ pub struct DropTail {
 /// enqueue path. "Effectively infinite" side buffers (e.g. the builder's
 /// 1M-packet default on access links) stay lazily allocated — a dumbbell
 /// has ~4 side links per flow and pre-allocating millions of slots each
-/// would cost hundreds of megabytes per run.
+/// would cost megabytes per run.
 const PREALLOC_LIMIT_PKTS: usize = 4096;
 
 impl DropTail {
@@ -110,7 +250,8 @@ impl DropTail {
         Self::new(QueueCapacity::Packets(pkts))
     }
 
-    fn would_overflow(&self, pkt: &Packet) -> bool {
+    #[inline]
+    fn would_overflow(&self, pkt: &QueuedPacket) -> bool {
         match self.capacity {
             QueueCapacity::Packets(p) => self.items.len() + 1 > p,
             QueueCapacity::Bytes(b) => self.bytes + pkt.size as u64 > b,
@@ -119,7 +260,13 @@ impl DropTail {
 }
 
 impl Queue for DropTail {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime, _rng: &mut Rng) -> Result<(), Packet> {
+    #[inline]
+    fn enqueue(
+        &mut self,
+        pkt: QueuedPacket,
+        _now: SimTime,
+        _rng: &mut Rng,
+    ) -> Result<(), QueuedPacket> {
         if self.would_overflow(&pkt) {
             return Err(pkt);
         }
@@ -128,7 +275,8 @@ impl Queue for DropTail {
         Ok(())
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    #[inline]
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
         let pkt = self.items.pop_front()?;
         self.bytes -= pkt.size as u64;
         Some(pkt)
@@ -154,18 +302,12 @@ impl Queue for DropTail {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, PacketKind};
-    use crate::sim::NodeId;
 
-    fn pkt(uid: u64, size: u32) -> Packet {
-        Packet {
-            uid,
+    fn pkt(uid: u32, size: u32) -> QueuedPacket {
+        QueuedPacket {
+            pref: PacketRef(uid),
             flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
             size,
-            kind: PacketKind::Udp { seq: uid },
-            created: SimTime::ZERO,
         }
     }
 
@@ -177,7 +319,7 @@ mod tests {
             q.enqueue(pkt(i, 100), SimTime::ZERO, &mut rng).unwrap();
         }
         for i in 0..5 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, i);
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().pref, PacketRef(i));
         }
         assert!(q.is_empty());
     }
@@ -189,7 +331,7 @@ mod tests {
         assert!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut rng).is_ok());
         assert!(q.enqueue(pkt(1, 100), SimTime::ZERO, &mut rng).is_ok());
         let rejected = q.enqueue(pkt(2, 100), SimTime::ZERO, &mut rng);
-        assert_eq!(rejected.unwrap_err().uid, 2);
+        assert_eq!(rejected.unwrap_err().pref, PacketRef(2));
         assert_eq!(q.len_packets(), 2);
         // Space frees after a dequeue.
         q.dequeue(SimTime::ZERO).unwrap();
@@ -214,8 +356,7 @@ mod tests {
         let mut q = DropTail::with_packets(100);
         let mut rng = Rng::new(0);
         for i in 0..10 {
-            q.enqueue(pkt(i, 40 + i as u32), SimTime::ZERO, &mut rng)
-                .unwrap();
+            q.enqueue(pkt(i, 40 + i), SimTime::ZERO, &mut rng).unwrap();
         }
         let total: u64 = (0..10u64).map(|i| 40 + i).sum();
         assert_eq!(q.len_bytes(), total);

@@ -11,8 +11,7 @@
 //! option.
 
 use crate::forensics::DropReason;
-use crate::packet::Packet;
-use crate::queue::{Queue, QueueCapacity};
+use crate::queue::{Queue, QueueCapacity, QueuedPacket};
 use simcore::{Rng, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -57,7 +56,7 @@ impl RedConfig {
 /// A RED queue.
 pub struct Red {
     cfg: RedConfig,
-    items: VecDeque<Packet>,
+    items: VecDeque<QueuedPacket>,
     bytes: u64,
     /// EWMA of the queue length in packets.
     avg: f64,
@@ -136,7 +135,12 @@ impl Red {
 }
 
 impl Queue for Red {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut Rng) -> Result<(), Packet> {
+    fn enqueue(
+        &mut self,
+        pkt: QueuedPacket,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Result<(), QueuedPacket> {
         self.update_avg(now);
 
         // Forced drop: physically full.
@@ -174,7 +178,7 @@ impl Queue for Red {
         Ok(())
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
         let pkt = self.items.pop_front()?;
         self.bytes -= pkt.size as u64;
         if self.items.is_empty() {
@@ -207,18 +211,13 @@ impl Queue for Red {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, PacketKind};
-    use crate::sim::NodeId;
+    use crate::packet::{FlowId, PacketRef};
 
-    fn pkt(uid: u64) -> Packet {
-        Packet {
-            uid,
+    fn pkt(uid: u32) -> QueuedPacket {
+        QueuedPacket {
+            pref: PacketRef(uid),
             flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
             size: 1000,
-            kind: PacketKind::Udp { seq: uid },
-            created: SimTime::ZERO,
         }
     }
 
@@ -239,13 +238,13 @@ mod tests {
         let mut q = Red::new(cfg(100));
         let mut rng = Rng::new(1);
         // Keep the queue short: enqueue 3, dequeue 3, repeatedly.
-        for round in 0..100u64 {
+        for round in 0..100u32 {
             for i in 0..3 {
-                q.enqueue(pkt(round * 3 + i), SimTime::from_millis(round), &mut rng)
+                q.enqueue(pkt(round * 3 + i), SimTime::from_millis(round as u64), &mut rng)
                     .expect("below min_th must never drop");
             }
             for _ in 0..3 {
-                q.dequeue(SimTime::from_millis(round)).unwrap();
+                q.dequeue(SimTime::from_millis(round as u64)).unwrap();
             }
         }
         assert_eq!(q.early_drops + q.forced_drops, 0);
@@ -260,7 +259,7 @@ mod tests {
         for i in 0..10 {
             let _ = q.enqueue(pkt(i), SimTime::ZERO, &mut rng);
         }
-        for i in 10..2000u64 {
+        for i in 10..2000u32 {
             if q.enqueue(pkt(i), SimTime::ZERO, &mut rng).is_err() {
                 dropped += 1;
             } else {

@@ -24,12 +24,11 @@ use crate::forensics::{DropLedger, DropReason, ForensicsConfig};
 use crate::link::Link;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::node::{Node, NodeKind};
-use crate::packet::{FlowId, Packet, PacketKind};
-use crate::queue::QueueCapacity;
+use crate::packet::{FlowId, Packet, PacketArena, PacketKind, PacketRef};
+use crate::queue::{QueueCapacity, QueuedPacket};
 use simcore::trace::TraceSink;
-use simcore::{EventQueue, Profile, Rng, SimDuration, SimTime};
+use simcore::{Profile, Rng, Scheduler, SchedulerKind, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::BTreeMap;
 
 /// Index of a node in the simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -44,7 +43,8 @@ pub struct LinkId(pub u32);
 pub struct AgentId(pub u32);
 
 impl NodeId {
-    fn idx(self) -> usize {
+    /// The node id as a dense index.
+    pub fn idx(self) -> usize {
         self.0 as usize
     }
 }
@@ -85,16 +85,19 @@ pub trait Agent {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// A kernel event. Packet-carrying variants hold a 4-byte [`PacketRef`]
+/// into the kernel arena, keeping scheduler entries ~16 bytes instead of
+/// the ~100 bytes an inline [`Packet`] would cost per copy.
 #[derive(Debug)]
 enum Event {
     /// Serialization of the in-flight packet on `link` completed.
     TxEnd { link: LinkId },
     /// A packet arrives at the downstream end of `link`.
-    Arrival { link: LinkId, packet: Packet },
+    Arrival { link: LinkId, packet: PacketRef },
     /// Agent timer.
     Timer { agent: AgentId, token: u64 },
     /// Deferred injection (send jitter).
-    Inject { node: NodeId, packet: Packet },
+    Inject { node: NodeId, packet: PacketRef },
     /// Periodic queue-occupancy sampling.
     QueueSample { period: SimDuration },
     /// Periodic telemetry sampling (links + agent gauges).
@@ -158,11 +161,20 @@ pub struct FlowNetStats {
 /// kernel mutably while the agent itself is mutably borrowed).
 pub struct Kernel {
     now: SimTime,
-    events: EventQueue<Event>,
+    events: Scheduler<Event>,
     nodes: Vec<Node>,
     links: Vec<Link>,
-    in_flight: Vec<Option<Packet>>,
-    endpoints: BTreeMap<(NodeId, FlowId), AgentId>,
+    /// Packet bodies for everything alive in the network; hot-path state
+    /// (events, queues, `in_flight`) carries [`PacketRef`]s into it.
+    arena: PacketArena,
+    /// Per-link serializing packet plus its (precomputed) serialization
+    /// time, so `TxEnd` does not redo the rate division.
+    in_flight: Vec<Option<(PacketRef, SimDuration)>>,
+    /// `(node, flow) -> agent` delivery bindings, dense on flow id: flow
+    /// ids are allocated sequentially, and a flow terminates at one or two
+    /// hosts, so a short per-flow vector beats a tree lookup on the
+    /// per-arrival hot path.
+    endpoints: Vec<Vec<(NodeId, AgentId)>>,
     rng: Rng,
     trace: TraceSink,
     next_uid: u64,
@@ -309,6 +321,15 @@ impl Kernel {
     fn audit_check(&mut self) {
         if self.auditor.is_some() {
             let structural = self.structural_in_network();
+            // The arena's live count must agree with the structural census:
+            // every allocated slot is a packet waiting, serializing,
+            // propagating, or jitter-pending — a mismatch means a leaked or
+            // double-freed ref.
+            assert_eq!(
+                self.arena.live() as u64,
+                structural,
+                "packet arena live count diverged from structural census"
+            );
             let now = self.now;
             if let Some(a) = &mut self.auditor {
                 a.verify(now, structural);
@@ -316,12 +337,12 @@ impl Kernel {
         }
     }
 
-    fn log_packet(&mut self, pkt: &Packet, link: Option<LinkId>, event: PacketEvent) {
+    fn log_packet(&mut self, uid: u64, flow: FlowId, link: Option<LinkId>, event: PacketEvent) {
         if let Some(log) = &mut self.packet_log {
             log.push(PacketRecord {
                 time: self.now,
-                uid: pkt.uid,
-                flow: pkt.flow,
+                uid,
+                flow,
                 link,
                 event,
             });
@@ -335,19 +356,46 @@ impl Kernel {
         uid
     }
 
-    /// Injects `packet` at `node`: route lookup, then queue or transmit.
-    fn inject(&mut self, node: NodeId, packet: Packet) {
-        let Some(lid) = self.nodes[node.idx()].routes.lookup(packet.dst) else {
+    /// Accounts and logs a drop of the arena packet `pref`, then recycles
+    /// its slot. `depth` is the queue depth snapshot for forensics.
+    fn account_drop(&mut self, lid: LinkId, pref: PacketRef, reason: DropReason, depth: u32) {
+        self.stats.drops += 1;
+        let p = self.arena.get(pref);
+        let (uid, flow, is_data) = (p.uid, p.flow, p.kind.is_tcp_data());
+        let fs = self.flow_stats_mut(flow);
+        fs.drops += 1;
+        if is_data {
+            fs.data_drops += 1;
+        }
+        self.log_packet(uid, flow, Some(lid), PacketEvent::Dropped { reason, depth });
+        if let Some(led) = &mut self.forensics {
+            let now = self.now;
+            led.on_drop(now, lid, flow, reason, depth);
+        }
+        if let Some(a) = &mut self.auditor {
+            a.on_dropped();
+        }
+        self.arena.release(pref);
+    }
+
+    /// Injects the arena packet `pref` at `node`: route lookup, then queue
+    /// or transmit.
+    // simlint: hot-path — once per Inject/forwarded Arrival event
+    fn inject(&mut self, node: NodeId, pref: PacketRef) {
+        let dst = self.arena.get(pref).dst;
+        let Some(lid) = self.nodes[node.idx()].routes.lookup(dst) else {
             self.stats.unroutable += 1;
             if let Some(a) = &mut self.auditor {
                 a.on_unroutable();
             }
+            self.arena.release(pref);
             return;
         };
-        self.enqueue_on_link(lid, packet);
+        self.enqueue_on_link(lid, pref);
     }
 
-    fn enqueue_on_link(&mut self, lid: LinkId, packet: Packet) {
+    // simlint: hot-path — once per packet offered to a link
+    fn enqueue_on_link(&mut self, lid: LinkId, pref: PacketRef) {
         let now = self.now;
         // Fault injection: random link loss, independent of the queue.
         let loss = self.links[lid.idx()].random_loss;
@@ -356,30 +404,16 @@ impl Kernel {
             let depth = link.queue.len_packets();
             link.monitor.on_offered(depth);
             link.monitor.on_drop();
-            self.stats.drops += 1;
-            let is_data = packet.kind.is_tcp_data();
-            let fs = self.flow_stats_mut(packet.flow);
-            fs.drops += 1;
-            if is_data {
-                fs.data_drops += 1;
-            }
-            let reason = DropReason::RandomLoss;
-            self.log_packet(
-                &packet,
-                Some(lid),
-                PacketEvent::Dropped {
-                    reason,
-                    depth: depth as u32,
-                },
-            );
-            if let Some(led) = &mut self.forensics {
-                led.on_drop(now, lid, packet.flow, reason, depth as u32);
-            }
-            if let Some(a) = &mut self.auditor {
-                a.on_dropped();
-            }
+            self.account_drop(lid, pref, DropReason::RandomLoss, depth as u32);
             return;
         }
+        let p = self.arena.get(pref);
+        let qp = QueuedPacket {
+            pref,
+            flow: p.flow,
+            size: p.size,
+        };
+        let (uid, flow) = (p.uid, p.flow);
         let link = &mut self.links[lid.idx()];
         if !link.busy {
             // Transmitter idle ⇒ queue is empty (kernel invariant); the
@@ -389,12 +423,12 @@ impl Kernel {
             debug_assert!(link.queue.is_empty());
             let qlen = link.queue.len_packets();
             link.monitor.on_offered(qlen);
-            self.log_packet(&packet, Some(lid), PacketEvent::Queued);
-            self.start_tx(lid, packet);
+            self.log_packet(uid, flow, Some(lid), PacketEvent::Queued);
+            self.start_tx(lid, qp);
         } else {
-            self.log_packet(&packet, Some(lid), PacketEvent::Queued);
+            self.log_packet(uid, flow, Some(lid), PacketEvent::Queued);
             let link = &mut self.links[lid.idx()];
-            match link.queue.enqueue(packet, now, &mut self.rng) {
+            match link.queue.enqueue(qp, now, &mut self.rng) {
                 Ok(()) => {
                     let qlen = link.queue.len_packets();
                     link.monitor.on_offered(qlen);
@@ -406,54 +440,42 @@ impl Kernel {
                     let reason = link.queue.last_drop_reason();
                     link.monitor.on_offered(qlen);
                     link.monitor.on_drop();
-                    self.stats.drops += 1;
-                    let is_data = dropped.kind.is_tcp_data();
-                    let fs = self.flow_stats_mut(dropped.flow);
-                    fs.drops += 1;
-                    if is_data {
-                        fs.data_drops += 1;
-                    }
-                    self.log_packet(
-                        &dropped,
-                        Some(lid),
-                        PacketEvent::Dropped {
-                            reason,
-                            depth: qlen as u32,
-                        },
-                    );
-                    if let Some(led) = &mut self.forensics {
-                        led.on_drop(now, lid, dropped.flow, reason, qlen as u32);
-                    }
-                    if let Some(a) = &mut self.auditor {
-                        a.on_dropped();
-                    }
+                    // `dropped` is usually the offered packet, but buffer-
+                    // stealing disciplines (DRR) may evict a different one.
+                    self.account_drop(lid, dropped.pref, reason, qlen as u32);
                 }
             }
         }
     }
 
-    fn start_tx(&mut self, lid: LinkId, packet: Packet) {
+    // simlint: hot-path — once per packet serialization start
+    fn start_tx(&mut self, lid: LinkId, qp: QueuedPacket) {
         let link = &mut self.links[lid.idx()];
         debug_assert!(!link.busy);
         link.busy = true;
-        let tx = link.tx_time(packet.size);
-        self.in_flight[lid.idx()] = Some(packet);
+        let tx = link.tx_time(qp.size);
+        self.in_flight[lid.idx()] = Some((qp.pref, tx));
         self.events.schedule(self.now + tx, Event::TxEnd { link: lid });
     }
 
+    // simlint: hot-path — once per TxEnd event
     fn on_tx_end(&mut self, lid: LinkId) {
-        let packet = self.in_flight[lid.idx()]
+        let (pref, tx) = self.in_flight[lid.idx()]
             .take()
             .expect("TxEnd with no packet in flight");
+        let p = self.arena.get(pref);
+        let (uid, flow, size) = (p.uid, p.flow, p.size);
         let link = &mut self.links[lid.idx()];
-        let tx = link.tx_time(packet.size);
-        link.monitor.on_tx(packet.size, tx);
+        link.monitor.on_tx(size, tx);
         let delay = link.delay;
-        self.log_packet(&packet, Some(lid), PacketEvent::Transmitted);
+        self.log_packet(uid, flow, Some(lid), PacketEvent::Transmitted);
         self.pending_arrivals += 1;
         self.events.schedule(
             self.now + delay,
-            Event::Arrival { link: lid, packet },
+            Event::Arrival {
+                link: lid,
+                packet: pref,
+            },
         );
         // Pull the next waiting packet, if any.
         let link = &mut self.links[lid.idx()];
@@ -538,11 +560,15 @@ impl<'a> Ctx<'a> {
                 }
                 self.kernel.last_inject[node.idx()] = t;
                 self.kernel.pending_injects += 1;
+                let pref = self.kernel.arena.alloc(packet);
                 self.kernel
                     .events
-                    .schedule(t, Event::Inject { node, packet });
+                    .schedule(t, Event::Inject { node, packet: pref });
             }
-            _ => self.kernel.inject(self.node, packet),
+            _ => {
+                let pref = self.kernel.arena.alloc(packet);
+                self.kernel.inject(self.node, pref);
+            }
         }
     }
 
@@ -577,19 +603,32 @@ pub struct Sim {
     kernel: Kernel,
     agents: Vec<AgentSlot>,
     started: bool,
+    /// Scratch buffer for batched event dispatch (see [`Sim::run_until`]);
+    /// kept on the struct so the run loop never allocates in steady state.
+    batch: Vec<Event>,
 }
 
 impl Sim {
-    /// Creates an empty simulation with the given master seed.
+    /// Creates an empty simulation with the given master seed, using the
+    /// default scheduler ([`SchedulerKind::Wheel`]).
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::default())
+    }
+
+    /// Creates an empty simulation with an explicit event-scheduler choice.
+    ///
+    /// Both schedulers implement the same ordering contract (see
+    /// [`simcore::event`]) and produce bit-identical results; `Heap` is
+    /// retained as a differential oracle and fallback.
+    pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
         Sim {
             kernel: Kernel {
                 now: SimTime::ZERO,
-                events: EventQueue::with_capacity(1024),
+                events: Scheduler::with_capacity(scheduler, 1024),
                 nodes: Vec::new(),
                 links: Vec::new(),
                 in_flight: Vec::new(),
-                endpoints: BTreeMap::new(),
+                endpoints: Vec::new(),
                 rng: Rng::new(seed),
                 trace: TraceSink::new(false),
                 next_uid: 0,
@@ -604,10 +643,17 @@ impl Sim {
                 pending_arrivals: 0,
                 pending_injects: 0,
                 last_inject: Vec::new(),
+                arena: PacketArena::new(),
             },
             agents: Vec::new(),
             started: false,
+            batch: Vec::new(),
         }
+    }
+
+    /// Which event scheduler this simulation runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.kernel.events.kind()
     }
 
     /// Reserves event-queue capacity for at least `additional` more
@@ -681,7 +727,15 @@ impl Sim {
 
     /// Binds packets of `flow` arriving at `node` to `agent`.
     pub fn bind_flow(&mut self, flow: FlowId, node: NodeId, agent: AgentId) {
-        self.kernel.endpoints.insert((node, flow), agent);
+        let eps = &mut self.kernel.endpoints;
+        if flow.index() >= eps.len() {
+            eps.resize_with(flow.index() + 1, Vec::new);
+        }
+        let slot = &mut eps[flow.index()];
+        match slot.iter_mut().find(|(n, _)| *n == node) {
+            Some(e) => e.1 = agent,
+            None => slot.push((node, agent)),
+        }
     }
 
     /// Starts the simulation: every agent's `on_start` runs in id order.
@@ -703,6 +757,7 @@ impl Sim {
         slot.agent.on_start(&mut ctx);
     }
 
+    // simlint: hot-path — once per delivered packet
     fn dispatch_packet(&mut self, aid: AgentId, pkt: Packet) {
         let slot = &mut self.agents[aid.idx()];
         let mut ctx = Ctx {
@@ -713,6 +768,7 @@ impl Sim {
         slot.agent.on_packet(pkt, &mut ctx);
     }
 
+    // simlint: hot-path — once per Timer event
     fn dispatch_timer(&mut self, aid: AgentId, token: u64) {
         let slot = &mut self.agents[aid.idx()];
         let mut ctx = Ctx {
@@ -725,87 +781,112 @@ impl Sim {
 
     /// Processes all events with `time <= until`, then sets the clock to
     /// `until`. Calling with a time in the past is a no-op.
+    // simlint: hot-path — the event loop itself
     pub fn run_until(&mut self, until: SimTime) {
         assert!(self.started, "call start() before running");
-        while let Some(t) = self.kernel.events.peek_time() {
-            if t > until {
-                break;
-            }
-            let (t, ev) = self.kernel.events.pop().expect("peeked");
+        // Batched dispatch: drain every event sharing the earliest timestamp
+        // in one scheduler call (one wheel-slot walk instead of per-event
+        // pops). Events an agent schedules *for the current instant* while
+        // the batch drains get a larger sequence number, so they land in the
+        // next batch at the same timestamp — identical order to per-event
+        // popping. The scratch Vec lives on `self` so steady state does not
+        // allocate.
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(t) = self.kernel.events.drain_next_batch(until, &mut batch) {
             if let Some(a) = &self.kernel.auditor {
                 a.check_monotonic(self.kernel.now, t);
             }
             self.kernel.now = t;
-            self.kernel.stats.events += 1;
-            if let Some(p) = &mut self.kernel.prof {
-                p.on_dispatch(ev.class(), t.as_nanos());
+            for ev in batch.drain(..) {
+                self.kernel.stats.events += 1;
+                if let Some(p) = &mut self.kernel.prof {
+                    p.on_dispatch(ev.class(), t.as_nanos());
+                }
+                self.dispatch_event(ev);
+                self.kernel.audit_check();
             }
-            match ev {
-                Event::TxEnd { link } => self.kernel.on_tx_end(link),
-                Event::Arrival { link, packet } => {
-                    self.kernel.pending_arrivals -= 1;
-                    let node = self.kernel.links[link.idx()].to;
-                    match self.kernel.nodes[node.idx()].kind {
-                        NodeKind::Router => {
-                            self.kernel.stats.forwarded += 1;
-                            self.kernel.inject(node, packet);
-                        }
-                        NodeKind::Host => {
-                            match self.kernel.endpoints.get(&(node, packet.flow)).copied() {
-                                Some(aid) => {
-                                    self.kernel.stats.delivered += 1;
-                                    self.kernel.flow_stats_mut(packet.flow).delivered += 1;
-                                    self.kernel
-                                        .log_packet(&packet, None, PacketEvent::Delivered);
-                                    if let Some(a) = &mut self.kernel.auditor {
-                                        a.on_delivered();
-                                    }
-                                    self.dispatch_packet(aid, packet);
-                                }
-                                None => {
-                                    self.kernel.stats.unroutable += 1;
-                                    if let Some(a) = &mut self.kernel.auditor {
-                                        a.on_unroutable();
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                Event::Timer { agent, token } => self.dispatch_timer(agent, token),
-                Event::Inject { node, packet } => {
-                    self.kernel.pending_injects -= 1;
-                    self.kernel.inject(node, packet);
-                }
-                Event::QueueSample { period } => {
-                    self.kernel.sample_queues();
-                    self.kernel
-                        .events
-                        .schedule(self.kernel.now + period, Event::QueueSample { period });
-                }
-                Event::TelemetrySample { period } => {
-                    self.kernel.telemetry_sample_links();
-                    let now = self.kernel.now;
-                    // `kernel` and `agents` are disjoint fields, so the
-                    // agent reads can run while the telemetry store is
-                    // mutably borrowed.
-                    if let Some(tel) = self.kernel.telemetry.as_mut() {
-                        if tel.config().sample_flows {
-                            for slot in &self.agents {
-                                slot.agent
-                                    .on_telemetry(&mut |name, v| tel.record(name, now, v));
-                            }
-                        }
-                    }
-                    self.kernel
-                        .events
-                        .schedule(self.kernel.now + period, Event::TelemetrySample { period });
-                }
-            }
-            self.kernel.audit_check();
         }
+        self.batch = batch;
         if until > self.kernel.now {
             self.kernel.now = until;
+        }
+    }
+
+    /// Dispatches one event at the current clock.
+    // simlint: hot-path — once per event, every event class
+    #[inline]
+    fn dispatch_event(&mut self, ev: Event) {
+        match ev {
+            Event::TxEnd { link } => self.kernel.on_tx_end(link),
+            Event::Arrival { link, packet } => {
+                self.kernel.pending_arrivals -= 1;
+                let node = self.kernel.links[link.idx()].to;
+                match self.kernel.nodes[node.idx()].kind {
+                    NodeKind::Router => {
+                        self.kernel.stats.forwarded += 1;
+                        self.kernel.inject(node, packet);
+                    }
+                    NodeKind::Host => {
+                        let flow = self.kernel.arena.get(packet).flow;
+                        let bound = self
+                            .kernel
+                            .endpoints
+                            .get(flow.index())
+                            .and_then(|v| v.iter().find(|(n, _)| *n == node))
+                            .map(|&(_, a)| a);
+                        match bound {
+                            Some(aid) => {
+                                self.kernel.stats.delivered += 1;
+                                self.kernel.flow_stats_mut(flow).delivered += 1;
+                                let uid = self.kernel.arena.get(packet).uid;
+                                self.kernel
+                                    .log_packet(uid, flow, None, PacketEvent::Delivered);
+                                if let Some(a) = &mut self.kernel.auditor {
+                                    a.on_delivered();
+                                }
+                                let pkt = self.kernel.arena.take(packet);
+                                self.dispatch_packet(aid, pkt);
+                            }
+                            None => {
+                                self.kernel.stats.unroutable += 1;
+                                if let Some(a) = &mut self.kernel.auditor {
+                                    a.on_unroutable();
+                                }
+                                self.kernel.arena.release(packet);
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Timer { agent, token } => self.dispatch_timer(agent, token),
+            Event::Inject { node, packet } => {
+                self.kernel.pending_injects -= 1;
+                self.kernel.inject(node, packet);
+            }
+            Event::QueueSample { period } => {
+                self.kernel.sample_queues();
+                self.kernel
+                    .events
+                    .schedule(self.kernel.now + period, Event::QueueSample { period });
+            }
+            Event::TelemetrySample { period } => {
+                self.kernel.telemetry_sample_links();
+                let now = self.kernel.now;
+                // `kernel` and `agents` are disjoint fields, so the
+                // agent reads can run while the telemetry store is
+                // mutably borrowed.
+                if let Some(tel) = self.kernel.telemetry.as_mut() {
+                    if tel.config().sample_flows {
+                        for slot in &self.agents {
+                            slot.agent
+                                .on_telemetry(&mut |name, v| tel.record(name, now, v));
+                        }
+                    }
+                }
+                self.kernel
+                    .events
+                    .schedule(self.kernel.now + period, Event::TelemetrySample { period });
+            }
         }
     }
 

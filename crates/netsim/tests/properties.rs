@@ -2,20 +2,17 @@
 //! generators (the deterministic `simcore::Rng`) instead of an external
 //! property-testing framework.
 
-use netsim::{DropTail, FlowId, NodeId, Packet, PacketKind, Queue, QueueCapacity};
+use netsim::queue::QueuedPacket;
+use netsim::{DropTail, FlowId, PacketRef, Queue, QueueCapacity};
 use simcore::{Rng, SimTime};
 
 const CASES: u64 = 48;
 
-fn pkt(uid: u64, size: u32) -> Packet {
-    Packet {
-        uid,
+fn pkt(uid: u32, size: u32) -> QueuedPacket {
+    QueuedPacket {
+        pref: PacketRef(uid),
         flow: FlowId(0),
-        src: NodeId(0),
-        dst: NodeId(1),
         size,
-        kind: PacketKind::Udp { seq: uid },
-        created: SimTime::ZERO,
     }
 }
 
@@ -30,7 +27,7 @@ fn droptail_capacity_fifo_conservation() {
         let ops: Vec<bool> = (0..nops).map(|_| gen.chance(0.5)).collect();
         let mut q = DropTail::with_packets(cap);
         let mut rng = Rng::new(1);
-        let mut next_uid = 0u64;
+        let mut next_uid = 0u32;
         let mut accepted = Vec::new();
         let mut dequeued = Vec::new();
         for enqueue in ops {
@@ -41,13 +38,13 @@ fn droptail_capacity_fifo_conservation() {
                     accepted.push(next_uid - 1);
                 }
             } else if let Some(p) = q.dequeue(SimTime::ZERO) {
-                dequeued.push(p.uid);
+                dequeued.push(p.pref.0);
             }
             assert!(q.len_packets() <= cap, "seed {seed}");
             assert_eq!(q.len_bytes(), q.len_packets() as u64 * 100, "seed {seed}");
         }
         while let Some(p) = q.dequeue(SimTime::ZERO) {
-            dequeued.push(p.uid);
+            dequeued.push(p.pref.0);
         }
         assert_eq!(accepted, dequeued, "seed {seed}: FIFO + conservation");
     }
@@ -59,12 +56,12 @@ fn droptail_byte_bound() {
     for seed in 0..CASES {
         let mut gen = Rng::new(0xA2_0000 + seed);
         let cap_bytes = 100 + gen.u64_below(9_900);
-        let n = gen.u64_below(200) as usize;
+        let n = gen.u64_below(200) as u32;
         let mut q = DropTail::new(QueueCapacity::Bytes(cap_bytes));
         let mut rng = Rng::new(2);
         for i in 0..n {
             let size = 40 + gen.u64_below(1460) as u32;
-            let _ = q.enqueue(pkt(i as u64, size), SimTime::ZERO, &mut rng);
+            let _ = q.enqueue(pkt(i, size), SimTime::ZERO, &mut rng);
             assert!(q.len_bytes() <= cap_bytes, "seed {seed}");
         }
     }

@@ -5,6 +5,26 @@
 //! scheduled (FIFO). This matters for reproducibility — a plain
 //! `BinaryHeap<(SimTime, E)>` would order simultaneous events by the payload's
 //! `Ord`, which changes whenever the payload type changes shape.
+//!
+//! ## The ordering contract (public, relied upon, regression-tested)
+//!
+//! Every scheduler in this crate — this heap and the
+//! [`TimerWheel`](crate::wheel::TimerWheel) behind
+//! [`Scheduler`](crate::sched::Scheduler) — guarantees:
+//!
+//! 1. **Earliest time first**: `pop` returns a pending event with minimal
+//!    `SimTime`.
+//! 2. **FIFO among equal times**: events scheduled for the same instant pop
+//!    in the order their `schedule` calls were made, even across interleaved
+//!    pops, and even when an event is scheduled for an instant that has
+//!    already been reached (it pops before any strictly later event, after
+//!    any same-time event scheduled earlier).
+//!
+//! This is a *semantic* contract, not an implementation detail: the kernel's
+//! per-node send-jitter clamp, simultaneous TCP timer/ACK races, and the
+//! byte-for-byte stability of every committed artifact digest all depend on
+//! it. `tests/properties.rs` and the cross-scheduler differential tests
+//! enforce it; any replacement scheduler must preserve it exactly.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -106,6 +126,7 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at `time`. Events at the same time fire in
     /// scheduling order.
+    // simlint: hot-path — one call per scheduled event
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -117,8 +138,37 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    // simlint: hot-path — one call per dispatched event
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Removes and returns the earliest event if its time is `<= until`.
+    pub fn pop_at_or_before(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.time > until {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Drains every pending event sharing the earliest timestamp (if that
+    /// timestamp is `<= until`) into `out` in FIFO order, returning the
+    /// shared timestamp. Interface parity with
+    /// [`TimerWheel::drain_next_batch`](crate::wheel::TimerWheel::drain_next_batch).
+    // simlint: hot-path — one call per dispatched batch
+    pub fn drain_next_batch(&mut self, until: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        let first = self.heap.peek()?;
+        if first.time > until {
+            return None;
+        }
+        let t = first.time;
+        while let Some(e) = self.heap.peek() {
+            if e.time != t {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").event);
+        }
+        Some(t)
     }
 
     /// The timestamp of the earliest pending event, if any.

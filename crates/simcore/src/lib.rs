@@ -26,12 +26,16 @@ pub mod dist;
 pub mod event;
 pub mod prof;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use dist::{Exponential, LogNormal, Normal, Pareto, Uniform, Weibull};
 pub use event::EventQueue;
 pub use prof::Profile;
 pub use rng::Rng;
+pub use sched::{Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Ring, TracePoint, TraceSink};
+pub use wheel::TimerWheel;

@@ -157,6 +157,12 @@ impl SimDuration {
     /// time; centralizing it here keeps rounding identical everywhere.
     pub fn transmission(bytes: u64, rate_bps: u64) -> SimDuration {
         assert!(rate_bps > 0, "link rate must be positive");
+        // Fast path: for every realistic packet size the product fits u64,
+        // and a 64-bit division is several times cheaper than the u128
+        // `__udivti3` call. Identical truncation semantics either way.
+        if let Some(bits) = bytes.checked_mul(8).and_then(|b| b.checked_mul(NANOS_PER_SEC)) {
+            return SimDuration(bits / rate_bps);
+        }
         let bits = (bytes as u128) * 8 * NANOS_PER_SEC as u128;
         SimDuration((bits / rate_bps as u128) as u64)
     }

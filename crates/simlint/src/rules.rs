@@ -20,16 +20,24 @@ pub enum RuleId {
     /// prints bypass the structured observability layer (telemetry, packet
     /// log, spans, forensics) and their cost is invisible to the profiler.
     PrintMacro,
+    /// D6: no `Box::new`/`Vec::new` inside a per-event dispatch region
+    /// (a function marked `// simlint: hot-path`). These paths run once per
+    /// simulated event — hundreds of millions of times per sweep — and a
+    /// heap allocation there dominates the event loop. Allocate at setup
+    /// time and reuse (scratch buffers via `std::mem::take`, preallocated
+    /// slabs); genuinely-amortized allocations carry a line waiver.
+    HotPathAlloc,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::HashContainer,
         RuleId::WallClock,
         RuleId::LossyCast,
         RuleId::FloatTimeEq,
         RuleId::PrintMacro,
+        RuleId::HotPathAlloc,
     ];
 
     /// The rule's name as used in `simlint.toml` and waiver comments.
@@ -40,7 +48,15 @@ impl RuleId {
             RuleId::LossyCast => "lossy-cast",
             RuleId::FloatTimeEq => "float-time-eq",
             RuleId::PrintMacro => "print-macro",
+            RuleId::HotPathAlloc => "hot-path-alloc",
         }
+    }
+
+    /// Whether this rule only applies inside `// simlint: hot-path` regions
+    /// (per-event dispatch functions). Region tracking lives in the scanner;
+    /// globally-scoped rules ignore it.
+    pub fn hot_path_only(self) -> bool {
+        matches!(self, RuleId::HotPathAlloc)
     }
 
     /// Parses a rule name (as written in config/waivers).
@@ -66,6 +82,9 @@ impl RuleId {
             RuleId::PrintMacro => {
                 "ad-hoc print in simulation code; record through telemetry/spans/forensics so output stays structured and the profiler sees the cost"
             }
+            RuleId::HotPathAlloc => {
+                "heap allocation in a per-event dispatch path; preallocate at setup and reuse (scratch buffer / slab), or waive if provably amortized"
+            }
         }
     }
 
@@ -78,6 +97,7 @@ impl RuleId {
             RuleId::LossyCast => check_lossy_cast(code),
             RuleId::FloatTimeEq => check_float_time_eq(code),
             RuleId::PrintMacro => check_print_macro(code),
+            RuleId::HotPathAlloc => check_hot_path_alloc(code),
         }
     }
 }
@@ -200,6 +220,28 @@ fn check_float_time_eq(code: &str) -> Option<String> {
     None
 }
 
+fn check_hot_path_alloc(code: &str) -> Option<String> {
+    // Only the unambiguous allocator entry points: `Box::new(…)` and
+    // `Vec::new(`/`Vec::with_capacity(` spelled as path calls. Growth of an
+    // existing buffer (`push` on a reused scratch Vec) is amortized and
+    // deliberately out of scope — the rule targets a *fresh* allocation per
+    // dispatched event.
+    for banned in ["Box::new", "Vec::new", "Vec::with_capacity", "vec!"] {
+        let head = banned.split(|c| c == ':' || c == '!').next().expect("non-empty");
+        let mut start = 0;
+        while let Some(off) = code[start..].find(banned) {
+            let i = start + off;
+            let tail = code[i + banned.len()..].chars().next();
+            let tail_ok = !tail.is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if word_at(code, i, head) && tail_ok {
+                return Some(format!("`{banned}` in a hot dispatch path"));
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
 fn check_print_macro(code: &str) -> Option<String> {
     for banned in ["println", "eprintln", "dbg"] {
         let mut start = 0;
@@ -268,6 +310,21 @@ mod tests {
         assert!(check_print_macro("self.println(buf);").is_none());
         assert!(check_print_macro("let dbg = 3;").is_none());
         assert!(check_print_macro("writeln!(out, \"ok\")?;").is_none());
+    }
+
+    #[test]
+    fn hot_path_alloc_patterns() {
+        assert!(check_hot_path_alloc("let b = Box::new(packet);").is_some());
+        assert!(check_hot_path_alloc("let acts: Vec<TcpAction> = Vec::new();").is_some());
+        assert!(check_hot_path_alloc("let mut q = Vec::with_capacity(64);").is_some());
+        assert!(check_hot_path_alloc("let v = vec![0u8; len];").is_some());
+        // Reusing an existing buffer is the sanctioned pattern.
+        assert!(check_hot_path_alloc("let mut a = std::mem::take(&mut self.scratch);").is_none());
+        assert!(check_hot_path_alloc("self.stage.push(pending);").is_none());
+        // Identifier boundaries: other `new`-family calls don't match.
+        assert!(check_hot_path_alloc("let b = Box::new_in(p, arena);").is_none());
+        assert!(check_hot_path_alloc("let s = SmallVec::new();").is_none());
+        assert!(check_hot_path_alloc("let t = MyBox::newish();").is_none());
     }
 
     #[test]

@@ -135,20 +135,32 @@ impl Preprocessor {
     }
 }
 
-/// Waivers extracted from one comment.
+/// Waivers and markers extracted from one comment.
 #[derive(Default)]
 struct Waivers {
     line: BTreeSet<RuleId>,
     file: BTreeSet<RuleId>,
+    /// `simlint: hot-path` — the next braced region is a per-event dispatch
+    /// path; region-scoped rules (hot-path-alloc) apply inside it.
+    hot_path: bool,
 }
 
-/// Parses `simlint: allow(rule, ...)` / `simlint: allow-file(rule, ...)`
-/// from comment text.
+/// Parses `simlint: allow(rule, ...)` / `simlint: allow-file(rule, ...)` /
+/// `simlint: hot-path` from comment text.
 fn parse_waivers(comment: &str) -> Waivers {
     let mut w = Waivers::default();
     let mut rest = comment;
     while let Some(i) = rest.find("simlint:") {
         let directive = rest[i + "simlint:".len()..].trim_start();
+        if let Some(after) = directive.strip_prefix("hot-path") {
+            // Bare region marker (not the `hot-path-alloc` rule name).
+            let next = after.chars().next();
+            if !next.is_some_and(|c| c.is_alphanumeric() || c == '-' || c == '_') {
+                w.hot_path = true;
+                rest = &rest[i + "simlint:".len()..];
+                continue;
+            }
+        }
         let (is_file, args) = if let Some(a) = directive.strip_prefix("allow-file(") {
             (true, a)
         } else if let Some(a) = directive.strip_prefix("allow(") {
@@ -185,6 +197,10 @@ pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
     let mut depth: i64 = 0;
     let mut test_region_depths: Vec<i64> = Vec::new();
     let mut cfg_test_pending = false;
+    // Depths at which `// simlint: hot-path` regions opened; region-scoped
+    // rules apply only while this stack is non-empty.
+    let mut hot_region_depths: Vec<i64> = Vec::new();
+    let mut hot_path_pending = false;
 
     for (idx, raw) in source.lines().enumerate() {
         let processed = pre.process(raw);
@@ -192,6 +208,7 @@ pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
 
         let waivers = parse_waivers(&processed.comments);
         file_waivers.extend(waivers.file.iter().copied());
+        hot_path_pending |= waivers.hot_path;
         let mut line_waivers: BTreeSet<RuleId> = waivers.line;
         if code.trim().is_empty() {
             // Comment-only line: its waivers arm the next code line.
@@ -210,13 +227,19 @@ pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
             test_region_depths.push(depth_before);
             cfg_test_pending = false;
         }
+        if hot_path_pending && opens > 0 {
+            hot_region_depths.push(depth_before);
+            hot_path_pending = false;
+        }
         depth += opens - closes;
         let in_test = !test_region_depths.is_empty();
+        let in_hot = !hot_region_depths.is_empty();
 
         for rule in RuleId::ALL {
             let settings = cfg.rule(rule);
             if !settings.enabled
                 || (settings.skip_tests && in_test)
+                || (rule.hot_path_only() && !in_hot)
                 || file_waivers.contains(&rule)
                 || line_waivers.contains(&rule)
             {
@@ -233,9 +256,12 @@ pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
             }
         }
 
-        // Leave test regions whose block closed on this line.
+        // Leave test/hot regions whose block closed on this line.
         while test_region_depths.last().is_some_and(|&d| depth <= d) {
             test_region_depths.pop();
+        }
+        while hot_region_depths.last().is_some_and(|&d| depth <= d) {
+            hot_region_depths.pop();
         }
     }
     violations
@@ -400,6 +426,71 @@ mod tests {
         assert!(s.contains("test.rs:1"));
         assert!(s.contains("hash-container"));
         assert!(s.contains("HashSet"));
+    }
+
+    #[test]
+    fn hot_path_alloc_only_fires_inside_marked_regions() {
+        // Setup code allocates freely; the marked dispatch body does not.
+        let src = "
+            fn setup() -> Vec<u32> {
+                let v = Vec::with_capacity(16);
+                v
+            }
+            // simlint: hot-path
+            fn on_event(&mut self) {
+                let acts: Vec<Action> = Vec::new();
+                self.apply(acts);
+            }
+            fn teardown(b: Thing) -> Box<Thing> { Box::new(b) }
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::HotPathAlloc);
+        assert_eq!(v[0].line, 8);
+    }
+
+    #[test]
+    fn hot_path_region_ends_at_closing_brace_and_nests() {
+        let src = "
+            // simlint: hot-path
+            fn dispatch(&mut self) {
+                match ev {
+                    Ev::A => { let b = Box::new(1); }
+                }
+            }
+            fn after() { let v = vec![1, 2]; }
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn hot_path_alloc_is_waivable_per_line() {
+        let src = "
+            // simlint: hot-path — RTO slow path, fires once per timeout
+            fn on_rto(&mut self) {
+                let spill = Vec::with_capacity(4); // simlint: allow(hot-path-alloc)
+                self.spill = spill;
+            }
+        ";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn hot_path_marker_survives_attribute_lines() {
+        // Marker above `#[inline]` still binds to the function body brace.
+        let src = "
+            // simlint: hot-path
+            #[inline]
+            fn pop(&mut self) -> Option<E> {
+                let v = Vec::new();
+                v.pop()
+            }
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
     }
 
     #[test]

@@ -21,6 +21,8 @@ use std::any::Any;
 const TOKEN_START: u64 = u64::MAX;
 /// Timer token for the pacing clock.
 const TOKEN_PACE: u64 = u64::MAX - 1;
+/// Timer token for the (single outstanding, self-re-arming) RTO timer.
+const TOKEN_RTO: u64 = u64::MAX - 2;
 
 /// Completed-flow record used by experiment harnesses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +63,22 @@ pub struct TcpSource {
     pace_armed: bool,
     /// Lifecycle span tracing (see [`crate::span`]); off by default.
     spans: Option<SpanDetector>,
+    /// Latest RTO generation announced by the sender machine.
+    rto_gen: u64,
+    /// Absolute deadline of the latest armed RTO.
+    rto_deadline: SimTime,
+    /// When the single outstanding RTO kernel timer fires, if one is out.
+    ///
+    /// The sender machine re-arms its RTO on every ACK; scheduling each of
+    /// those through the kernel would put one (almost always stale) long
+    /// timer per ACK into the event queue. Instead at most one RTO timer is
+    /// outstanding: when it fires early (the deadline has since moved), it
+    /// re-arms itself for the remainder — one kernel timer per RTO *window*
+    /// instead of one per ACK, with identical firing semantics.
+    rto_timer_at: Option<SimTime>,
+    /// Reusable action buffer passed to the sender machine on every event,
+    /// so the per-ACK hot path allocates nothing (see [`SenderMachine`]).
+    scratch: Vec<TcpAction>,
 }
 
 impl TcpSource {
@@ -97,6 +115,10 @@ impl TcpSource {
             pace_queue: std::collections::VecDeque::new(),
             pace_armed: false,
             spans: None,
+            rto_gen: 0,
+            rto_deadline: SimTime::ZERO,
+            rto_timer_at: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -222,8 +244,11 @@ impl TcpSource {
         }
     }
 
-    fn apply(&mut self, actions: Vec<TcpAction>, ctx: &mut Ctx<'_>) {
-        for a in actions {
+    /// Executes sender actions, draining `actions` (a scratch buffer owned
+    /// by the caller, returned empty for reuse).
+    // simlint: hot-path — once per ACK/RTO delivered to the sender
+    fn apply(&mut self, actions: &mut Vec<TcpAction>, ctx: &mut Ctx<'_>) {
+        for a in actions.drain(..) {
             match a {
                 TcpAction::Send {
                     seq,
@@ -236,7 +261,21 @@ impl TcpSource {
                         self.transmit(seq, retransmit, fin, ctx);
                     }
                 }
-                TcpAction::ArmRto { delay, gen } => ctx.set_timer(delay, gen),
+                TcpAction::ArmRto { delay, gen } => {
+                    let deadline = ctx.now() + delay;
+                    self.rto_gen = gen;
+                    self.rto_deadline = deadline;
+                    // Only arm when no outstanding timer covers the new
+                    // deadline (fires at or before it); otherwise that
+                    // firing will re-arm for the remainder.
+                    match self.rto_timer_at {
+                        Some(t) if t <= deadline => {}
+                        _ => {
+                            ctx.set_timer(delay, TOKEN_RTO);
+                            self.rto_timer_at = Some(deadline);
+                        }
+                    }
+                }
                 TcpAction::Completed => self.completed_at = Some(ctx.now()),
             }
         }
@@ -258,6 +297,7 @@ impl Agent for TcpSource {
         ctx.set_timer(self.start_delay, TOKEN_START);
     }
 
+    // simlint: hot-path — once per ACK delivered to the source
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketKind::TcpAck(hdr) = pkt.kind {
             let ack = self.ack_unwrap.unwrap(hdr.ack);
@@ -276,26 +316,45 @@ impl Agent for TcpSource {
                 sack,
             };
             let before = self.span_snap();
-            let actions = self.sender.on_ack(ctx.now(), &info);
+            let mut actions = std::mem::take(&mut self.scratch);
+            self.sender.on_ack(ctx.now(), &info, &mut actions);
             self.span_diff(ctx.now(), before);
-            self.apply(actions, ctx);
+            self.apply(&mut actions, ctx);
+            self.scratch = actions;
         }
     }
 
+    // simlint: hot-path — pace/RTO timer deliveries
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         if token == TOKEN_START {
             if self.started_at.is_none() {
                 self.started_at = Some(ctx.now());
-                let actions = self.sender.start(ctx.now());
-                self.apply(actions, ctx);
+                let mut actions = std::mem::take(&mut self.scratch);
+                self.sender.start(ctx.now(), &mut actions);
+                self.apply(&mut actions, ctx);
+                self.scratch = actions;
             }
         } else if token == TOKEN_PACE {
             self.pace_pop(ctx);
-        } else {
-            let before = self.span_snap();
-            let actions = self.sender.on_rto(ctx.now(), token);
-            self.span_diff(ctx.now(), before);
-            self.apply(actions, ctx);
+        } else if token == TOKEN_RTO {
+            self.rto_timer_at = None;
+            let now = ctx.now();
+            if now < self.rto_deadline {
+                // The deadline moved since this timer was armed (ACKs came
+                // in): sleep for the remainder instead of delivering.
+                let rest = self.rto_deadline.since(now);
+                ctx.set_timer(rest, TOKEN_RTO);
+                self.rto_timer_at = Some(self.rto_deadline);
+            } else {
+                // Due: deliver with the latest generation. The sender
+                // ignores it if it disarmed (advanced the gen) meanwhile.
+                let before = self.span_snap();
+                let mut actions = std::mem::take(&mut self.scratch);
+                self.sender.on_rto(now, self.rto_gen, &mut actions);
+                self.span_diff(now, before);
+                self.apply(&mut actions, ctx);
+                self.scratch = actions;
+            }
         }
     }
 
@@ -388,6 +447,7 @@ impl TcpSink {
 }
 
 impl Agent for TcpSink {
+    // simlint: hot-path — once per data segment at the sink
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketKind::TcpData(hdr) = pkt.kind {
             let seq = self.seq_unwrap.unwrap(hdr.seq);
@@ -406,6 +466,7 @@ impl Agent for TcpSink {
         }
     }
 
+    // simlint: hot-path — delayed-ACK timer deliveries
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         if token == self.delack_gen {
             if let Some(ack) = self.receiver.on_delack_timer() {

@@ -36,13 +36,18 @@ pub trait SenderMachine: Send {
     /// Upcast for downcasting to a concrete machine (diagnostics/tests).
     fn as_any(&self) -> &dyn std::any::Any;
 
-    /// Begins transmission.
-    fn start(&mut self, now: SimTime) -> Vec<TcpAction>;
-    /// Processes an acknowledgement.
-    fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction>;
+    /// Begins transmission, appending actions to `out`.
+    ///
+    /// All three event entry points take an out-parameter instead of
+    /// returning a fresh `Vec`: the agent drives one of these per ACK, so a
+    /// per-call allocation would sit directly on the simulator's hottest
+    /// path. Callers pass a reusable scratch buffer (cleared between calls).
+    fn start(&mut self, now: SimTime, out: &mut Vec<TcpAction>);
+    /// Processes an acknowledgement, appending actions to `out`.
+    fn on_ack(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>);
     /// Processes a retransmission-timeout expiry (stale generations are
-    /// ignored).
-    fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction>;
+    /// ignored), appending actions to `out`.
+    fn on_rto(&mut self, now: SimTime, gen: u64, out: &mut Vec<TcpAction>);
 
     /// Congestion window (segments).
     fn cwnd(&self) -> f64;
@@ -72,15 +77,15 @@ impl SenderMachine for TcpSender {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
-    fn start(&mut self, now: SimTime) -> Vec<TcpAction> {
-        TcpSender::start(self, now)
+    fn start(&mut self, now: SimTime, out: &mut Vec<TcpAction>) {
+        TcpSender::start_into(self, now, out)
     }
-    fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction> {
+    fn on_ack(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
         // The Reno-family sender ignores SACK blocks.
-        TcpSender::on_ack(self, now, info.ack, info.ts_echo)
+        TcpSender::on_ack_into(self, now, info.ack, info.ts_echo, out)
     }
-    fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction> {
-        TcpSender::on_rto(self, now, gen)
+    fn on_rto(&mut self, now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
+        TcpSender::on_rto_into(self, now, gen, out)
     }
     fn cwnd(&self) -> f64 {
         TcpSender::cwnd(self)
@@ -127,15 +132,23 @@ mod tests {
             Box::new(Reno),
             Some(4),
         ));
-        let a = m.start(SimTime::ZERO);
+        let mut a = Vec::new();
+        m.start(SimTime::ZERO, &mut a);
         assert!(!a.is_empty());
         assert_eq!(m.name(), "reno");
-        let a = m.on_ack(
+        a.clear();
+        m.on_ack(
             SimTime::from_millis(50),
             &AckInfo::plain(2, SimTime::ZERO),
+            &mut a,
         );
         assert!(!a.is_empty());
-        m.on_ack(SimTime::from_millis(90), &AckInfo::plain(4, SimTime::ZERO));
+        a.clear();
+        m.on_ack(
+            SimTime::from_millis(90),
+            &AckInfo::plain(4, SimTime::ZERO),
+            &mut a,
+        );
         assert!(m.is_completed());
     }
 }

@@ -207,28 +207,24 @@ impl SackSender {
             self.retx.insert(seq);
         }
     }
-}
 
-impl SenderMachine for SackSender {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-    fn start(&mut self, _now: SimTime) -> Vec<TcpAction> {
+    /// Begins transmission, appending actions to `out` (the agent reuses one
+    /// scratch buffer across events; the hot path performs no allocation).
+    pub fn start_into(&mut self, _now: SimTime, out: &mut Vec<TcpAction>) {
         assert!(!self.started, "start() called twice");
         self.started = true;
-        let mut out = Vec::new();
-        self.send_allowed(&mut out);
-        self.arm_rto(&mut out);
-        out
+        self.send_allowed(out);
+        self.arm_rto(out);
     }
 
-    fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction> {
-        let mut out = Vec::new();
+    /// Processes an acknowledgement, appending actions to `out`.
+    // simlint: hot-path — once per ACK
+    pub fn on_ack_into(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
         if self.completed || !self.started {
-            return out;
+            return;
         }
         if info.ack > self.max_sent {
-            return out; // bogus (stale flow-id reuse)
+            return; // bogus (stale flow-id reuse)
         }
         self.stats.acks += 1;
         if info.ts_echo <= now {
@@ -283,7 +279,7 @@ impl SenderMachine for SackSender {
                     self.completed = true;
                     self.rto_gen += 1;
                     out.push(TcpAction::Completed);
-                    return out;
+                    return;
                 }
             }
         } else if info.ack == self.snd_una && self.next_seq > self.snd_una {
@@ -297,28 +293,29 @@ impl SenderMachine for SackSender {
             && !self.sacked.contains(&self.snd_una)
             && (self.is_lost(self.snd_una) || self.dupacks >= self.cfg.dupack_threshold)
         {
-            self.enter_recovery(&mut out);
+            self.enter_recovery(out);
         }
 
-        self.send_allowed(&mut out);
+        self.send_allowed(out);
         // RFC 6298: restart the retransmission timer only when new data is
         // acknowledged. Re-arming on duplicate ACKs would let a lost
         // retransmission postpone its own RTO indefinitely while other
         // segments keep the ACK clock ticking.
         if advanced {
-            self.arm_rto(&mut out);
+            self.arm_rto(out);
         }
-        out
     }
 
-    fn on_rto(&mut self, _now: SimTime, gen: u64) -> Vec<TcpAction> {
-        let mut out = Vec::new();
+    /// Processes an RTO expiry, appending actions to `out`. Stale timer
+    /// generations are ignored.
+    // simlint: hot-path — once per retransmission timeout
+    pub fn on_rto_into(&mut self, _now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
         if gen != self.rto_gen
             || self.completed
             || !self.started
             || self.snd_una == self.next_seq
         {
-            return out;
+            return;
         }
         self.stats.timeouts += 1;
         self.rtt.backoff();
@@ -333,9 +330,44 @@ impl SenderMachine for SackSender {
         self.retx.clear();
         self.high_water = self.high_water.max(self.next_seq);
         self.next_seq = self.snd_una;
-        self.send_allowed(&mut out);
-        self.arm_rto(&mut out);
+        self.send_allowed(out);
+        self.arm_rto(out);
+    }
+
+    /// Vec-returning wrappers over the `*_into` methods (tests/diagnostics).
+    pub fn start(&mut self, now: SimTime) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.start_into(now, &mut out);
         out
+    }
+
+    /// See [`SackSender::on_ack_into`].
+    pub fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.on_ack_into(now, info, &mut out);
+        out
+    }
+
+    /// See [`SackSender::on_rto_into`].
+    pub fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.on_rto_into(now, gen, &mut out);
+        out
+    }
+}
+
+impl SenderMachine for SackSender {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn start(&mut self, now: SimTime, out: &mut Vec<TcpAction>) {
+        SackSender::start_into(self, now, out)
+    }
+    fn on_ack(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
+        SackSender::on_ack_into(self, now, info, out)
+    }
+    fn on_rto(&mut self, now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
+        SackSender::on_rto_into(self, now, gen, out)
     }
 
     fn cwnd(&self) -> f64 {

@@ -129,12 +129,20 @@ impl TcpSender {
     }
 
     /// Begins transmission: emits the initial window and arms the RTO.
-    pub fn start(&mut self, _now: SimTime) -> Vec<TcpAction> {
+    /// Actions are appended to `out` (the agent reuses one scratch buffer
+    /// across events, so the per-event hot path performs no allocation).
+    pub fn start_into(&mut self, _now: SimTime, out: &mut Vec<TcpAction>) {
         assert!(!self.started, "start() called twice");
         self.started = true;
+        self.fill_window(out);
+        self.arm_rto(out);
+    }
+
+    /// Convenience wrapper over [`TcpSender::start_into`] returning a fresh
+    /// vector (tests and diagnostics).
+    pub fn start(&mut self, now: SimTime) -> Vec<TcpAction> {
         let mut out = Vec::new();
-        self.fill_window(&mut out);
-        self.arm_rto(&mut out);
+        self.start_into(now, &mut out);
         out
     }
 
@@ -236,11 +244,17 @@ impl TcpSender {
     }
 
     /// Processes a cumulative ACK. `ts_echo` is the send timestamp echoed by
-    /// the receiver (for RTT sampling).
-    pub fn on_ack(&mut self, now: SimTime, ack: u64, ts_echo: SimTime) -> Vec<TcpAction> {
-        let mut out = Vec::new();
+    /// the receiver (for RTT sampling). Actions are appended to `out`.
+    // simlint: hot-path — once per ACK
+    pub fn on_ack_into(
+        &mut self,
+        now: SimTime,
+        ack: u64,
+        ts_echo: SimTime,
+        out: &mut Vec<TcpAction>,
+    ) {
         if self.completed || !self.started {
-            return out;
+            return;
         }
         // An ACK for data we never sent is bogus (e.g. a stale ACK from a
         // previous connection on a reused flow id): drop it, as real TCP
@@ -248,7 +262,7 @@ impl TcpSender {
         // next_seq sits below data that is still legitimately in flight, so
         // the bound is the highest sequence ever sent.
         if ack > self.next_seq.max(self.high_water) {
-            return out;
+            return;
         }
         self.stats.acks += 1;
 
@@ -312,12 +326,12 @@ impl TcpSender {
                     self.completed = true;
                     self.rto_gen += 1; // kill pending timer
                     out.push(TcpAction::Completed);
-                    return out;
+                    return;
                 }
             }
 
-            self.fill_window(&mut out);
-            self.arm_rto(&mut out);
+            self.fill_window(out);
+            self.arm_rto(out);
         } else if ack == self.snd_una && self.flight() > 0 {
             // Duplicate ACK.
             self.stats.dupacks += 1;
@@ -344,26 +358,33 @@ impl TcpSender {
                         });
                         self.stats.segments_sent += 1;
                         self.stats.retransmits += 1;
-                        self.arm_rto(&mut out);
+                        self.arm_rto(out);
                     }
                 }
                 SenderState::FastRecovery => {
                     // Window inflation lets new data trickle out.
                     self.inflation += 1.0;
-                    self.fill_window(&mut out);
+                    self.fill_window(out);
                 }
             }
         }
         // Old ACK (< snd_una): ignore.
+    }
+
+    /// Convenience wrapper over [`TcpSender::on_ack_into`] returning a fresh
+    /// vector (tests and diagnostics).
+    pub fn on_ack(&mut self, now: SimTime, ack: u64, ts_echo: SimTime) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.on_ack_into(now, ack, ts_echo, &mut out);
         out
     }
 
     /// Processes a retransmission-timeout expiry for timer generation `gen`.
-    /// Stale generations are ignored.
-    pub fn on_rto(&mut self, _now: SimTime, gen: u64) -> Vec<TcpAction> {
-        let mut out = Vec::new();
+    /// Stale generations are ignored. Actions are appended to `out`.
+    // simlint: hot-path — once per retransmission timeout
+    pub fn on_rto_into(&mut self, _now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
         if gen != self.rto_gen || self.completed || !self.started || self.flight() == 0 {
-            return out;
+            return;
         }
         self.stats.timeouts += 1;
         self.rtt.backoff();
@@ -376,8 +397,15 @@ impl TcpSender {
         // everything beyond it will be resent as the window re-opens.
         self.high_water = self.high_water.max(self.next_seq);
         self.next_seq = self.snd_una;
-        self.fill_window(&mut out);
-        self.arm_rto(&mut out);
+        self.fill_window(out);
+        self.arm_rto(out);
+    }
+
+    /// Convenience wrapper over [`TcpSender::on_rto_into`] returning a fresh
+    /// vector (tests and diagnostics).
+    pub fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction> {
+        let mut out = Vec::new();
+        self.on_rto_into(now, gen, &mut out);
         out
     }
 }

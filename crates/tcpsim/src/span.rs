@@ -370,14 +370,14 @@ mod tests {
         // Grow the window a little.
         for i in 1..=8u64 {
             let b = det.before(&m);
-            SenderMachine::on_ack(&mut m, t(10 * i), &AckInfo::plain(i, t(0)));
+            SenderMachine::on_ack(&mut m, t(10 * i), &AckInfo::plain(i, t(0)), &mut Vec::new());
             det.after(t(10 * i), b, &m);
         }
         assert!(det.log().is_empty(), "no transitions during growth");
         // Drop segment 9: three duplicate ACKs for 8.
         for d in 0..3u64 {
             let b = det.before(&m);
-            SenderMachine::on_ack(&mut m, t(100 + d), &AckInfo::plain(8, t(0)));
+            SenderMachine::on_ack(&mut m, t(100 + d), &AckInfo::plain(8, t(0)), &mut Vec::new());
             det.after(t(100 + d), b, &m);
         }
         let kinds: Vec<SpanKind> = det.log().iter().map(|r| r.kind).collect();
@@ -387,7 +387,7 @@ mod tests {
         // The repair ACK deflates cwnd to ssthresh: recovery exit.
         let b = det.before(&m);
         let big_ack = m.next_seq();
-        SenderMachine::on_ack(&mut m, t(200), &AckInfo::plain(big_ack, t(0)));
+        SenderMachine::on_ack(&mut m, t(200), &AckInfo::plain(big_ack, t(0)), &mut Vec::new());
         det.after(t(200), b, &m);
         let kinds: Vec<SpanKind> = det.log().iter().map(|r| r.kind).collect();
         assert!(
@@ -409,7 +409,7 @@ mod tests {
         });
         let (delay, gen) = wait.expect("start arms an RTO");
         let b = det.before(&m);
-        SenderMachine::on_rto(&mut m, SimTime::ZERO + delay, gen);
+        SenderMachine::on_rto(&mut m, SimTime::ZERO + delay, gen, &mut Vec::new());
         det.after(SimTime::ZERO + delay, b, &m);
         let kinds: Vec<SpanKind> = det.log().iter().map(|r| r.kind).collect();
         assert_eq!(kinds, vec![SpanKind::Rto]);

@@ -25,4 +25,29 @@ cargo run -q --release -p bench --bin report -- --check
 echo "==> cargo run -p simlint (determinism contract, incl. crates/core)"
 cargo run -q --release -p simlint
 
+echo "==> quick bench arm (cell grid; BENCH_sweep.json staleness gate)"
+# Re-runs the bench_sweep cell grid (no --repro) to a scratch path. The
+# per-class event dispatch counts are deterministic for the fixed grid, so
+# any divergence from the committed baseline means the simulator changed
+# behaviour without `scripts/bench.sh` being rerun.
+./target/release/bench_sweep --jobs "$(nproc 2>/dev/null || echo 2)" \
+    --out target/BENCH_sweep.quick.json
+python3 - <<'EOF'
+import json
+fresh = json.load(open("target/BENCH_sweep.quick.json"))["events_per_s"]
+committed = json.load(open("artifacts/BENCH_sweep.json"))["events_per_s"]
+for key in ("scheduler", "classes"):
+    f = fresh[key]
+    c = committed[key]
+    if key == "classes":  # per_s varies with wall time; counts must not
+        f = [(x["class"], x["count"]) for x in f]
+        c = [(x["class"], x["count"]) for x in c]
+    assert f == c, (
+        f"artifacts/BENCH_sweep.json is stale: events_per_s.{key}\n"
+        f"  committed: {c}\n  fresh:     {f}\n"
+        "rerun scripts/bench.sh and commit the regenerated baseline"
+    )
+print("BENCH_sweep.json event counts match the fresh quick run")
+EOF
+
 echo "==> all checks passed"

@@ -47,6 +47,64 @@ fn contract_coverage_is_complete() {
     }
 }
 
+/// The `hot-path-alloc` rule is region-scoped: it only applies inside
+/// functions marked `// simlint: hot-path`. That makes the marker inventory
+/// part of the contract — if the markers disappeared, the rule would pass
+/// vacuously. Pin the files that must carry markers (the event loop, both
+/// scheduler implementations, link dispatch, and the per-ACK sender
+/// machinery) and a floor on the total count.
+#[test]
+fn hot_path_marker_inventory_is_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let must_mark = [
+        "crates/simcore/src/event.rs",
+        "crates/simcore/src/wheel.rs",
+        "crates/netsim/src/sim.rs",
+        "crates/tcpsim/src/agent.rs",
+        "crates/tcpsim/src/sender.rs",
+        "crates/tcpsim/src/sack.rs",
+    ];
+    let mut total = 0;
+    for rel in must_mark {
+        let text = std::fs::read_to_string(root.join(rel)).expect("kernel source readable");
+        let n = text.matches("simlint: hot-path").count();
+        assert!(n > 0, "{rel} lost its `simlint: hot-path` markers");
+        total += n;
+    }
+    assert!(
+        total >= 20,
+        "hot-path marker inventory shrank to {total} (expected >= 20); \
+         per-event dispatch coverage must not quietly erode"
+    );
+}
+
+/// End-to-end: a heap allocation seeded inside a marked region is caught by
+/// the same library entry point the workspace gate uses, and the per-line
+/// waiver releases it.
+#[test]
+fn hot_path_alloc_rule_catches_seeded_violation() {
+    let cfg = Config::default_contract();
+    let bad = "
+        // simlint: hot-path
+        fn dispatch(&mut self) {
+            let v: Vec<Action> = Vec::new();
+            self.apply(v);
+        }
+    ";
+    let v = simlint::check_source("seeded.rs", bad, &cfg);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, simlint::RuleId::HotPathAlloc);
+
+    let waived = "
+        // simlint: hot-path
+        fn dispatch(&mut self) {
+            let v: Vec<Action> = Vec::new(); // simlint: allow(hot-path-alloc)
+            self.apply(v);
+        }
+    ";
+    assert!(simlint::check_source("seeded.rs", waived, &cfg).is_empty());
+}
+
 fn rust_sources(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
     for entry in std::fs::read_dir(dir).expect("readable dir") {
         let path = entry.expect("dir entry").path();
