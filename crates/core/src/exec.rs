@@ -28,8 +28,7 @@
 //! undone cell, so a sweep of unequal cells (bisection points at different
 //! buffer sizes, say) stays load-balanced without any cell-cost model.
 
-// simlint: allow-file(wall-clock) — driver-layer worker pool; threads never
-// run inside a simulation, they only distribute whole runs across cores.
+// simlint: allow-file(wall-clock) — driver-layer worker pool: threads never run inside a simulation, they only distribute whole runs across cores
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -97,6 +97,7 @@ impl Queue for Drr {
             return Ok(());
         }
         // Shared buffer full: longest-queue drop.
+        // simlint: allow(panic-in-kernel): total_pkts == capacity > 0 here, so at least one flow queue is non-empty
         let longest = self.longest_flow().expect("full buffer has flows");
         if longest == pkt.flow.0 {
             self.drops += 1;
@@ -104,6 +105,7 @@ impl Queue for Drr {
         }
         // Evict from the longest queue to admit the newcomer (approximate
         // buffer stealing). The evicted packet is the drop.
+        // simlint: allow(panic-in-kernel): longest_flow just returned this flow, so its queue has a head to evict
         let victim = self.evict_from(longest).expect("longest non-empty");
         self.push_flow(pkt);
         self.drops += 1;
@@ -116,6 +118,7 @@ impl Queue for Drr {
         // one extra visit.
         for _ in 0..(self.round.len().max(1) * 2) {
             let f = *self.round.front()?;
+            // simlint: allow(panic-in-kernel): round membership implies a queues entry (invariant kept by push_flow/deactivate)
             let q = self.queues.get_mut(&f).expect("round member has queue");
             let Some(head_size) = q.front().map(|p| p.size as i64) else {
                 // Empty queue: deactivate.
@@ -126,6 +129,7 @@ impl Queue for Drr {
             let d = self.deficit.entry(f).or_insert(0);
             if *d >= head_size {
                 *d -= head_size;
+                // simlint: allow(panic-in-kernel): head_size was just read from this queue's head
                 let pkt = q.pop_front().expect("head exists");
                 self.total_pkts -= 1;
                 self.total_bytes -= pkt.size as u64;

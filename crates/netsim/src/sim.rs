@@ -462,6 +462,7 @@ impl Kernel {
     fn on_tx_end(&mut self, lid: LinkId) {
         let (pref, tx) = self.in_flight[lid.idx()]
             .take()
+            // simlint: allow(panic-in-kernel): a TxEnd event is only ever scheduled together with an in_flight entry
             .expect("TxEnd with no packet in flight");
         let p = self.arena.get(pref);
         let (uid, flow, size) = (p.uid, p.flow, p.size);

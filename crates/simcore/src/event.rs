@@ -166,6 +166,7 @@ impl<E> EventQueue<E> {
             if e.time != t {
                 break;
             }
+            // simlint: allow(panic-in-kernel): pop directly follows a successful peek of the same heap
             out.push(self.heap.pop().expect("peeked").event);
         }
         Some(t)

@@ -6,6 +6,7 @@
 //! computed along different code paths either collide on the same nanosecond
 //! (and are then ordered FIFO by the event queue) or do not — there is no
 //! epsilon ambiguity.
+// simlint: allow-file(panic-in-kernel): checked SimTime/SimDuration arithmetic panics loudly on overflow — the structured alternative to silent wraparound corrupting digests
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};

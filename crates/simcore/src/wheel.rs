@@ -321,6 +321,7 @@ impl<E> TimerWheel<E> {
                 if ((p.tick >> GRAIN_BITS) ^ self.cursor) >> (SLOT_BITS * LEVELS as u32) != 0 {
                     break;
                 }
+                // simlint: allow(panic-in-kernel): pop directly follows a successful peek of the same heap
                 let p = self.overflow.pop().expect("peeked");
                 self.place(p);
             }
@@ -370,6 +371,7 @@ impl<E> TimerWheel<E> {
                 if p.tick != tick {
                     break;
                 }
+                // simlint: allow(panic-in-kernel): pop directly follows a successful peek of the same heap
                 let p = self.due.pop().expect("peeked");
                 self.len -= 1;
                 out.push(p.event);

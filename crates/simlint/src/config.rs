@@ -7,7 +7,7 @@
 //! and `#` comments. Unknown sections or keys are hard errors — a typo in a
 //! lint config must not silently disable a rule.
 
-use crate::rules::RuleId;
+use crate::rules::{RuleId, Severity};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -18,13 +18,19 @@ pub struct RuleSettings {
     pub enabled: bool,
     /// Whether code inside `#[cfg(test)]` modules is exempt.
     pub skip_tests: bool,
+    /// Effective severity (defaults per rule, overridable).
+    pub severity: Severity,
 }
 
-impl Default for RuleSettings {
-    fn default() -> Self {
+impl RuleSettings {
+    /// The built-in defaults for one rule: enabled, with the rule's own
+    /// `skip_tests`/severity defaults (`panic-in-kernel` skips tests and
+    /// warns; `float-reduction` warns; everything else denies).
+    pub fn for_rule(rule: RuleId) -> RuleSettings {
         RuleSettings {
             enabled: true,
-            skip_tests: false,
+            skip_tests: rule.default_skip_tests(),
+            severity: rule.default_severity(),
         }
     }
 }
@@ -34,23 +40,33 @@ impl Default for RuleSettings {
 pub struct Config {
     /// Directories to scan, relative to the workspace root.
     pub roots: Vec<String>,
+    /// The subset of roots holding single-threaded simulation-kernel code;
+    /// kernel-only rules (`float-reduction`, `shared-mut-state`,
+    /// `panic-in-kernel`) apply only to files under these.
+    pub kernel_roots: Vec<String>,
     /// Settings per rule (every rule has an entry).
     pub rules: BTreeMap<RuleId, RuleSettings>,
 }
 
 impl Config {
-    /// The default contract: scan the four simulation crates, all rules on.
+    /// The default contract: scan the four simulation crates (all of them
+    /// kernel roots), all rules on with their per-rule defaults.
     pub fn default_contract() -> Config {
+        let kernel: Vec<String> = [
+            "crates/simcore",
+            "crates/netsim",
+            "crates/tcpsim",
+            "crates/traffic",
+        ]
+        .into_iter()
+        .map(str::to_string)
+        .collect();
         Config {
-            roots: vec![
-                "crates/simcore".to_string(),
-                "crates/netsim".to_string(),
-                "crates/tcpsim".to_string(),
-                "crates/traffic".to_string(),
-            ],
+            roots: kernel.clone(),
+            kernel_roots: kernel,
             rules: RuleId::ALL
                 .into_iter()
-                .map(|r| (r, RuleSettings::default()))
+                .map(|r| (r, RuleSettings::for_rule(r)))
                 .collect(),
         }
     }
@@ -96,6 +112,9 @@ impl Config {
                 None => return Err(err(format!("key `{key}` outside any section"))),
                 Some(Section::Scan) => match key {
                     "roots" => cfg.roots = parse_string_array(value).map_err(err)?,
+                    "kernel_roots" => {
+                        cfg.kernel_roots = parse_string_array(value).map_err(err)?
+                    }
                     _ => return Err(err(format!("unknown key `{key}` in [scan]"))),
                 },
                 Some(Section::Rule(rule)) => {
@@ -103,6 +122,12 @@ impl Config {
                     match key {
                         "enabled" => settings.enabled = parse_bool(value).map_err(err)?,
                         "skip_tests" => settings.skip_tests = parse_bool(value).map_err(err)?,
+                        "severity" => {
+                            let name = parse_string(value).map_err(&err)?;
+                            settings.severity = Severity::parse(&name).ok_or_else(|| {
+                                err(format!("unknown severity `{name}` (deny|warn)"))
+                            })?;
+                        }
                         _ => {
                             return Err(err(format!(
                                 "unknown key `{key}` in [rules.{}]",
@@ -113,12 +138,29 @@ impl Config {
                 }
             }
         }
+        for root in &cfg.kernel_roots {
+            if !cfg.roots.contains(root) {
+                return Err(format!(
+                    "simlint.toml: kernel root `{root}` is not in [scan] roots"
+                ));
+            }
+        }
         Ok(cfg)
     }
 
     /// The settings for one rule.
     pub fn rule(&self, id: RuleId) -> RuleSettings {
-        self.rules.get(&id).copied().unwrap_or_default()
+        self.rules
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| RuleSettings::for_rule(id))
+    }
+
+    /// True iff a reported file label falls under one of the kernel roots.
+    pub fn is_kernel_file(&self, label: &str) -> bool {
+        self.kernel_roots
+            .iter()
+            .any(|r| label == r || label.starts_with(&format!("{r}/")))
     }
 }
 
@@ -179,9 +221,14 @@ mod tests {
         let cfg = Config::default_contract();
         for r in RuleId::ALL {
             assert!(cfg.rule(r).enabled);
-            assert!(!cfg.rule(r).skip_tests);
+            assert_eq!(cfg.rule(r).skip_tests, r.default_skip_tests());
+            assert_eq!(cfg.rule(r).severity, r.default_severity());
         }
         assert_eq!(cfg.roots.len(), 4);
+        assert_eq!(cfg.kernel_roots, cfg.roots);
+        // Only panic-in-kernel skips tests by default.
+        assert!(cfg.rule(RuleId::PanicInKernel).skip_tests);
+        assert!(!cfg.rule(RuleId::HashContainer).skip_tests);
     }
 
     #[test]
@@ -191,18 +238,24 @@ mod tests {
             # comment
             [scan]
             roots = ["crates/a", "crates/b"] # trailing comment
+            kernel_roots = ["crates/a"]
 
             [rules.lossy-cast]
             enabled = false
 
             [rules.wall-clock]
             skip_tests = true
+
+            [rules.hot-path-alloc]
+            severity = "warn"
             "#,
         )
         .unwrap();
         assert_eq!(cfg.roots, vec!["crates/a", "crates/b"]);
+        assert_eq!(cfg.kernel_roots, vec!["crates/a"]);
         assert!(!cfg.rule(RuleId::LossyCast).enabled);
         assert!(cfg.rule(RuleId::WallClock).skip_tests);
+        assert_eq!(cfg.rule(RuleId::HotPathAlloc).severity, Severity::Warn);
         assert!(cfg.rule(RuleId::HashContainer).enabled);
     }
 
@@ -211,6 +264,23 @@ mod tests {
         assert!(Config::from_toml("[rules.hash-contanier]\nenabled = false").is_err());
         assert!(Config::from_toml("[scan]\nroot = [\"x\"]").is_err());
         assert!(Config::from_toml("[rules.wall-clock]\nenable = true").is_err());
+        assert!(Config::from_toml("[rules.wall-clock]\nseverity = \"loud\"").is_err());
         assert!(Config::from_toml("stray = true").is_err());
+    }
+
+    #[test]
+    fn kernel_roots_must_be_scanned() {
+        let res = Config::from_toml("[scan]\nroots = [\"crates/a\"]\nkernel_roots = [\"crates/b\"]");
+        assert!(res.is_err(), "{res:?}");
+    }
+
+    #[test]
+    fn kernel_file_matching() {
+        let cfg = Config::default_contract();
+        assert!(cfg.is_kernel_file("crates/simcore/src/lib.rs"));
+        assert!(cfg.is_kernel_file("crates/netsim/src/queue.rs"));
+        assert!(!cfg.is_kernel_file("crates/core/src/exec.rs"));
+        assert!(!cfg.is_kernel_file("crates/simcore2/src/lib.rs"));
+        assert!(!cfg.is_kernel_file("test.rs"));
     }
 }

@@ -1,0 +1,499 @@
+//! Lightweight per-crate symbol and call graph.
+//!
+//! Built from the token stream ([`crate::lex`]), not from a full parse: the
+//! graph knows (a) every `fn` definition with its body token/line range,
+//! whether it sits inside `#[cfg(test)]` code, and whether it is directly
+//! marked `// simlint: hot-path`; and (b) every call site inside a hot
+//! region, resolved *by name* against the functions of the same crate.
+//!
+//! That name resolution is deliberately conservative and one level deep:
+//! an allocation in a function called from a marked region is a finding
+//! even though the function body carries no marker itself — the
+//! "interprocedural loophole" the marker-scoped rule used to have. Method
+//! calls (`q.transmit(pkt)`) resolve to any crate function of that name;
+//! calls through common std names (`push`, `clone`, `new`, …) and
+//! std-typed paths (`Vec::…`, `mem::…`) are excluded so the std library
+//! does not taint same-named crate functions. When several crate functions
+//! share a name, *all* of them are treated as hot (erring toward
+//! flagging; a waiver documents the exceptions).
+
+use crate::lex::{LexedFile, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a function participates in hot-path checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hotness {
+    /// Not reachable from any marked region (within one call level).
+    No,
+    /// Its own body is inside a `// simlint: hot-path` region.
+    Direct,
+    /// Called (one level) from a marked region; the string names the call
+    /// site, e.g. `crates/netsim/src/sim.rs:401`.
+    Transitive(String),
+}
+
+/// One `fn` definition discovered in a file.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub name: String,
+    /// Index of the file (into the slice passed to [`CrateGraph::build`]).
+    pub file: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}`.
+    pub body_close: usize,
+    /// 1-based line of the opening `{`.
+    pub open_line: usize,
+    /// 1-based line of the closing `}`.
+    pub close_line: usize,
+    /// Whether the definition sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Hot-path status after the interprocedural pass.
+    pub hot: Hotness,
+}
+
+/// A contiguous token region within one file.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// File index.
+    pub file: usize,
+    /// Token index of the opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (or last token if unbalanced).
+    pub close: usize,
+    /// 1-based line of the opening `{`.
+    pub open_line: usize,
+    /// 1-based line of the closing `}`.
+    pub close_line: usize,
+}
+
+impl Region {
+    /// True iff token index `t` lies inside the region (inclusive).
+    pub fn contains(&self, file: usize, t: usize) -> bool {
+        self.file == file && t >= self.open && t <= self.close
+    }
+}
+
+/// The per-crate analysis product.
+#[derive(Clone, Debug, Default)]
+pub struct CrateGraph {
+    /// Every function definition in the crate's files.
+    pub fns: Vec<FnDef>,
+    /// Directly marked `// simlint: hot-path` regions.
+    pub hot_regions: Vec<Region>,
+    /// `#[cfg(test)]` / `#[test]` regions.
+    pub test_regions: Vec<Region>,
+}
+
+/// Call-edge names that are never resolved to crate functions: overwhelming
+/// std-method traffic (`v.push(x)`) or constructor idioms whose allocation
+/// profile is governed by the direct alloc matchers, not the call graph.
+const SKIP_CALLEES: [&str; 40] = [
+    "new", "default", "from", "into", "clone", "fmt", "eq", "ne", "cmp", "partial_cmp",
+    "total_cmp", "hash", "drop", "with_capacity", "to_string", "to_owned", "as_ref", "as_mut",
+    "borrow", "borrow_mut", "deref", "deref_mut", "next", "len", "is_empty", "get", "get_mut",
+    "insert", "remove", "contains", "contains_key", "clear", "extend", "push", "pop", "iter",
+    "iter_mut", "into_iter", "min", "max",
+];
+
+/// Path-call prefixes (`Prefix::name(..)`) that denote std types/modules, so
+/// the call never resolves to a crate function.
+const STD_PREFIXES: [&str; 38] = [
+    "std", "core", "alloc", "mem", "ptr", "fmt", "cmp", "iter", "slice", "str", "char", "Vec",
+    "Box", "String", "VecDeque", "BinaryHeap", "BTreeMap", "BTreeSet", "Option", "Result",
+    "Some", "Ok", "Err", "Rc", "Arc", "Cell", "RefCell", "Ordering", "Duration", "Reverse",
+    "Wrapping", "f32", "f64", "u8", "u16", "u32", "u64", "usize",
+];
+
+/// Rust keywords (and ubiquitous constructors) that can precede `(` without
+/// being a call to a crate function.
+const NON_CALL_IDENTS: [&str; 24] = [
+    "fn", "if", "else", "match", "while", "for", "loop", "return", "let", "mut", "ref", "in",
+    "as", "use", "mod", "pub", "impl", "where", "move", "unsafe", "dyn", "Some", "Ok", "Err",
+];
+
+impl CrateGraph {
+    /// Builds the graph for one crate from its lexed files (with display
+    /// labels) plus the per-file `// simlint: hot-path` marker lines
+    /// (1-based).
+    pub fn build(files: &[&LexedFile], labels: &[&str], marker_lines: &[Vec<usize>]) -> CrateGraph {
+        let mut g = CrateGraph::default();
+        for (fi, lf) in files.iter().enumerate() {
+            g.scan_structure(fi, lf, &marker_lines[fi]);
+        }
+        g.propagate_hotness(files, labels);
+        g
+    }
+
+    /// Finds brace-matched hot/test regions and `fn` bodies in one file.
+    fn scan_structure(&mut self, file: usize, lf: &LexedFile, markers: &[usize]) {
+        let toks = &lf.toks;
+        // Matching close brace for each open brace token index.
+        let close_of = brace_matches(lf);
+
+        let mut markers: Vec<usize> = markers.to_vec();
+        markers.sort_unstable();
+        let mut next_marker = 0usize;
+
+        // Attribute handling: after `#[…test…]`, the next `{` opens a test
+        // region (this covers both `#[cfg(test)] mod tests {` and
+        // `#[test] fn case() {`). `not` anywhere in the attribute (e.g.
+        // `#[cfg(not(test))]`) disarms it.
+        let mut test_pending = false;
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i].tok {
+                Tok::Punct('#') if toks.get(i + 1).is_some_and(|t| t.tok.is_punct('[')) => {
+                    // Scan the attribute's bracket span.
+                    let mut depth = 0i64;
+                    let mut j = i + 1;
+                    let mut saw_test = false;
+                    let mut saw_not = false;
+                    while j < toks.len() {
+                        match &toks[j].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident(s) if s == "test" => saw_test = true,
+                            Tok::Ident(s) if s == "not" => saw_not = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if saw_test && !saw_not {
+                        test_pending = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                Tok::Ident(kw) if kw == "fn" => {
+                    if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                        // Find the body `{` (or `;` for a bodyless decl) at
+                        // paren depth 0.
+                        let mut paren = 0i64;
+                        let mut j = i + 2;
+                        let mut body = None;
+                        while j < toks.len() {
+                            match &toks[j].tok {
+                                Tok::Punct('(') => paren += 1,
+                                Tok::Punct(')') => paren -= 1,
+                                Tok::Punct(';') if paren == 0 => break,
+                                Tok::Punct('{') if paren == 0 => {
+                                    body = Some(j);
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if let Some(open) = body {
+                            let close = close_of.get(&open).copied().unwrap_or(toks.len() - 1);
+                            self.fns.push(FnDef {
+                                name: name.clone(),
+                                file,
+                                body_open: open,
+                                body_close: close,
+                                open_line: toks[open].line,
+                                close_line: toks[close].line,
+                                in_test: false, // filled below
+                                hot: Hotness::No,
+                            });
+                        }
+                    }
+                }
+                Tok::Punct('{') => {
+                    let close = close_of.get(&i).copied().unwrap_or(toks.len() - 1);
+                    let region = Region {
+                        file,
+                        open: i,
+                        close,
+                        open_line: toks[i].line,
+                        close_line: toks[close].line,
+                    };
+                    // Hot markers arm the next `{` on or after their line.
+                    let mut armed = false;
+                    while next_marker < markers.len() && markers[next_marker] <= toks[i].line {
+                        next_marker += 1;
+                        armed = true;
+                    }
+                    if armed {
+                        self.hot_regions.push(region.clone());
+                    }
+                    if test_pending {
+                        self.test_regions.push(region);
+                        test_pending = false;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        // Mark fns defined inside test regions.
+        for f in self.fns.iter_mut().filter(|f| f.file == file) {
+            f.in_test = self
+                .test_regions
+                .iter()
+                .any(|r| r.contains(file, f.body_open));
+        }
+    }
+
+    /// Marks functions directly inside hot regions, then resolves call
+    /// sites inside hot regions to same-crate functions (one level deep).
+    fn propagate_hotness(&mut self, files: &[&LexedFile], labels: &[&str]) {
+        for f in self.fns.iter_mut() {
+            if self
+                .hot_regions
+                .iter()
+                .any(|r| r.contains(f.file, f.body_open))
+            {
+                f.hot = Hotness::Direct;
+            }
+        }
+        // Names of fns defined in this crate (non-test), for resolution.
+        let defined: BTreeSet<&str> = self
+            .fns
+            .iter()
+            .filter(|f| !f.in_test)
+            .map(|f| f.name.as_str())
+            .collect();
+        // Callee name → first hot call site, as `label:line`.
+        let mut hot_calls: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for region in &self.hot_regions {
+            // Skip marked regions that are themselves test code.
+            if self
+                .test_regions
+                .iter()
+                .any(|r| r.contains(region.file, region.open))
+            {
+                continue;
+            }
+            let toks = &files[region.file].toks;
+            for t in region.open..=region.close.min(toks.len() - 1) {
+                let Some(name) = call_at(toks, t) else { continue };
+                if defined.contains(name) {
+                    hot_calls
+                        .entry(name.to_string())
+                        .or_insert((region.file, toks[t].line));
+                }
+            }
+        }
+        for f in self.fns.iter_mut() {
+            if f.hot == Hotness::No && !f.in_test {
+                if let Some(&(file, line)) = hot_calls.get(f.name.as_str()) {
+                    f.hot = Hotness::Transitive(format!("{}:{line}", labels[file]));
+                }
+            }
+        }
+    }
+
+    /// Hot line ranges for one file: directly marked regions plus bodies of
+    /// transitively hot functions. Returns `(start_line, end_line, via)`
+    /// where `via` is `None` for direct regions.
+    pub fn hot_line_ranges(&self, file: usize) -> Vec<(usize, usize, Option<String>)> {
+        let mut out: Vec<(usize, usize, Option<String>)> = self
+            .hot_regions
+            .iter()
+            .filter(|r| r.file == file)
+            .map(|r| (r.open_line, r.close_line, None))
+            .collect();
+        for f in self.fns.iter().filter(|f| f.file == file) {
+            if let Hotness::Transitive(via) = &f.hot {
+                out.push((f.open_line, f.close_line, Some(via.clone())));
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+
+    /// Test line ranges for one file.
+    pub fn test_line_ranges(&self, file: usize) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .test_regions
+            .iter()
+            .filter(|r| r.file == file)
+            .map(|r| (r.open_line, r.close_line))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// If the token at `t` is the name position of a call that may resolve to a
+/// crate function, returns the callee name.
+fn call_at<'t>(toks: &'t [crate::lex::Spanned], t: usize) -> Option<&'t str> {
+    let name = toks[t].tok.ident()?;
+    if !toks.get(t + 1).is_some_and(|n| n.tok.is_punct('(')) {
+        return None;
+    }
+    if NON_CALL_IDENTS.contains(&name) || SKIP_CALLEES.contains(&name) {
+        return None;
+    }
+    // `fn name(` is the definition, not a call.
+    if t > 0 && toks[t - 1].tok.ident() == Some("fn") {
+        return None;
+    }
+    // Path call `Prefix::name(`: exclude std-typed prefixes.
+    if t >= 3 && toks[t - 1].tok.is_punct(':') && toks[t - 2].tok.is_punct(':') {
+        if let Some(prefix) = toks[t - 3].tok.ident() {
+            if STD_PREFIXES.contains(&prefix) {
+                return None;
+            }
+        }
+    }
+    Some(name)
+}
+
+/// Open-brace token index → matching close-brace token index.
+fn brace_matches(lf: &LexedFile) -> BTreeMap<usize, usize> {
+    let mut out = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in lf.toks.iter().enumerate() {
+        match t.tok {
+            Tok::Punct('{') => stack.push(i),
+            Tok::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    out.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn graph_of(src: &str, markers: &[usize]) -> (CrateGraph, LexedFile) {
+        let lf = lex(src);
+        let g = CrateGraph::build(&[&lf], &["a.rs"], &[markers.to_vec()]);
+        (g, lf)
+    }
+
+    /// Marker lines extracted the way the scanner does it.
+    fn markers_of(lf: &crate::lex::LexedFile) -> Vec<usize> {
+        lf.comments
+            .iter()
+            .filter(|c| c.text.contains("simlint: hot-path"))
+            .map(|c| c.line)
+            .collect()
+    }
+
+    #[test]
+    fn finds_fn_defs_and_bodies() {
+        let (g, _) = graph_of(
+            "fn alpha() { beta(); }\nfn beta() -> Vec<u32> { Vec::new() }\n",
+            &[],
+        );
+        let names: Vec<_> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert_eq!(g.fns[0].open_line, 1);
+        assert_eq!(g.fns[1].close_line, 2);
+    }
+
+    #[test]
+    fn trait_decl_without_body_is_skipped() {
+        let (g, _) = graph_of("trait T { fn sig(&self) -> u32; }\nfn real() {}\n", &[]);
+        let names: Vec<_> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn transitive_hotness_one_level() {
+        let src = "\
+// simlint: hot-path
+fn dispatch(&mut self) {
+    self.flush_queue();
+}
+fn flush_queue(&mut self) {
+    let v = Vec::new();
+}
+fn unrelated() {}
+";
+        let lf = lex(src);
+        let m = markers_of(&lf);
+        let g = CrateGraph::build(&[&lf], &["a.rs"], &[m]);
+        let flush = g.fns.iter().find(|f| f.name == "flush_queue").unwrap();
+        assert!(matches!(flush.hot, Hotness::Transitive(_)), "{flush:?}");
+        let unrelated = g.fns.iter().find(|f| f.name == "unrelated").unwrap();
+        assert_eq!(unrelated.hot, Hotness::No);
+        let dispatch = g.fns.iter().find(|f| f.name == "dispatch").unwrap();
+        assert_eq!(dispatch.hot, Hotness::Direct);
+    }
+
+    #[test]
+    fn std_calls_do_not_taint_crate_fns() {
+        // `Vec::new()` and `.push()` in a hot region must not make crate
+        // fns named `new`/`push` hot.
+        let src = "\
+// simlint: hot-path
+fn dispatch(&mut self) {
+    self.buf.push(Vec::new());
+}
+fn push(&mut self) { let v = Vec::new(); }
+fn new() -> Self { Self { } }
+";
+        let lf = lex(src);
+        let m = markers_of(&lf);
+        let g = CrateGraph::build(&[&lf], &["a.rs"], &[m]);
+        for name in ["push", "new"] {
+            let f = g.fns.iter().find(|f| f.name == name).unwrap();
+            assert_eq!(f.hot, Hotness::No, "{name} wrongly hot");
+        }
+    }
+
+    #[test]
+    fn test_regions_cover_mod_and_test_fns() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+#[cfg(not(test))]
+fn also_prod() {}
+";
+        let (g, _) = graph_of(src, &[]);
+        let helper = g.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(helper.in_test);
+        assert!(!g.fns.iter().find(|f| f.name == "prod").unwrap().in_test);
+        assert!(!g.fns.iter().find(|f| f.name == "also_prod").unwrap().in_test);
+    }
+
+    #[test]
+    fn calls_from_test_hot_regions_do_not_propagate() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // simlint: hot-path
+    fn bench_loop() { crunch(); }
+}
+fn crunch() { let v = Vec::new(); }
+";
+        let lf = lex(src);
+        let m = markers_of(&lf);
+        let g = CrateGraph::build(&[&lf], &["a.rs"], &[m]);
+        let crunch = g.fns.iter().find(|f| f.name == "crunch").unwrap();
+        assert_eq!(crunch.hot, Hotness::No);
+    }
+
+    #[test]
+    fn cross_file_resolution_within_crate() {
+        let a = lex("// simlint: hot-path\nfn dispatch() { drain_ring(); }\n");
+        let b = lex("fn drain_ring() { let v = Vec::new(); }\n");
+        let ma = markers_of(&a);
+        let g = CrateGraph::build(&[&a, &b], &["a.rs", "b.rs"], &[ma, vec![]]);
+        let f = g.fns.iter().find(|f| f.name == "drain_ring").unwrap();
+        assert!(matches!(f.hot, Hotness::Transitive(_)));
+        assert_eq!(f.file, 1);
+    }
+}

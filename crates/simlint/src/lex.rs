@@ -1,0 +1,610 @@
+//! A dependency-free Rust token lexer.
+//!
+//! This replaces the old line-based preprocessor: instead of stripping
+//! comments and strings one line at a time (which mis-handled raw string
+//! literals and multi-line strings), the lexer consumes the whole source
+//! once and produces three synchronized views:
+//!
+//! * a **token stream** ([`LexedFile::toks`]) — identifiers, lifetimes,
+//!   literals (contents blanked), and punctuation, each tagged with its
+//!   1-based source line. The token-aware rules and the symbol/call graph
+//!   ([`crate::graph`]) operate on this.
+//! * **comment text per line** ([`LexedFile::comments`]) — for waiver and
+//!   `hot-path` marker parsing. Block comments spanning several lines are
+//!   split so each line's fragment is attributed to that line, matching the
+//!   historical "waiver on the line above" semantics.
+//! * **blanked code per line** ([`LexedFile::code_lines`]) — the original
+//!   characters with comments removed and literal contents blanked (quotes
+//!   kept). The legacy line-shaped matchers run on these, so spacing-
+//!   sensitive patterns (`" as "`, `==`) still work.
+//!
+//! The lexer understands the full literal grammar the line scanner did not:
+//! raw strings `r"…"` / `r#"…"#` (any `#` depth), byte and C strings
+//! (`b"…"`, `br#"…"#`, `c"…"`), raw identifiers (`r#type`), char literals
+//! vs. lifetimes, nested block comments, and numeric literals with enough
+//! fidelity to tell floats from integers (needed by `float-reduction`).
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident(String),
+    /// Lifetime (`'a`), without the tick.
+    Lifetime(String),
+    /// Any string-like literal (plain, raw, byte, C); contents blanked.
+    Str,
+    /// A char or byte-char literal; contents blanked.
+    Char,
+    /// An integer literal.
+    Int,
+    /// A float literal (`0.5`, `1e9`, `2f64`).
+    Float,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True iff this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Comment text attributed to one source line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// The comment text on that line (without `//` / `/*` delimiters).
+    pub text: String,
+}
+
+/// The lexer's complete output for one file.
+#[derive(Clone, Debug, Default)]
+pub struct LexedFile {
+    /// The token stream, in source order.
+    pub toks: Vec<Spanned>,
+    /// Comment text, one entry per line bearing comment text, in order.
+    pub comments: Vec<Comment>,
+    /// Per source line: original code with comments removed and literal
+    /// contents blanked (string quotes kept as `"…"` placeholders).
+    pub code_lines: Vec<String>,
+}
+
+impl LexedFile {
+    /// Comment text of line `line` (1-based), concatenated.
+    pub fn comment_on(&self, line: usize) -> String {
+        let mut out = String::new();
+        for c in self.comments.iter().filter(|c| c.line == line) {
+            out.push_str(&c.text);
+            out.push(' ');
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    /// Byte index into `src`.
+    i: usize,
+    /// Current 1-based line.
+    line: usize,
+    out: LexedFile,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.i).map(|&b| b as char)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.src.get(self.i + off).map(|&b| b as char)
+    }
+
+    /// Consumes one byte, maintaining the line counter. Multi-byte UTF-8
+    /// continuation bytes never match any ASCII the lexer inspects, so
+    /// byte-at-a-time iteration is safe (non-ASCII only appears inside
+    /// comments, strings, and identifiers, all of which copy bytes through).
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.out.code_lines.push(String::new());
+        }
+        Some(c)
+    }
+
+    fn code_push(&mut self, c: char) {
+        let line = self.out.code_lines.len() - 1;
+        self.out.code_lines[line].push(c);
+    }
+
+    fn emit(&mut self, tok: Tok, line: usize) {
+        self.out.toks.push(Spanned { tok, line });
+    }
+
+    fn comment_push(&mut self, line: usize, text: String) {
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn lex(mut self) -> LexedFile {
+        self.out.code_lines.push(String::new());
+        while let Some(c) = self.peek() {
+            match c {
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(None),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.bump();
+                    if !c.is_whitespace() {
+                        self.code_push(c);
+                        let line = self.line;
+                        self.emit(Tok::Punct(c), line);
+                    } else if c != '\n' {
+                        self.code_push(' ');
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume `//`
+        // Accumulate raw bytes: `peek` views the source byte-wise, so
+        // pushing its chars directly would mangle multi-byte UTF-8 (em
+        // dashes in waiver justifications, say). Decode once at the end.
+        let mut text = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+            text.push(c as u8);
+        }
+        self.comment_push(line, String::from_utf8_lossy(&text).into_owned());
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        let mut text = Vec::new();
+        let mut text_line = self.line;
+        while let Some(c) = self.peek() {
+            if c == '*' && self.peek_at(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.extend_from_slice(b"*/");
+            } else if c == '/' && self.peek_at(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+                text.extend_from_slice(b"/*");
+            } else if c == '\n' {
+                let t = String::from_utf8_lossy(&std::mem::take(&mut text)).into_owned();
+                self.comment_push(text_line, t);
+                self.bump();
+                text_line = self.line;
+            } else {
+                self.bump();
+                text.push(c as u8);
+            }
+        }
+        if !text.is_empty() {
+            self.comment_push(text_line, String::from_utf8_lossy(&text).into_owned());
+        }
+    }
+
+    /// Lexes a `"…"` string (with escapes). `prefix` is an already-consumed
+    /// literal prefix like `b`; only used to decide the token kind (all
+    /// stringish literals emit [`Tok::Str`]).
+    fn string_literal(&mut self, _prefix: Option<&str>) {
+        let line = self.line;
+        self.bump(); // opening quote
+        self.code_push('"');
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.code_push('"');
+        self.emit(Tok::Str, line);
+    }
+
+    /// Lexes a raw string `r"…"` / `r##"…"##` whose prefix (`r`, `br`, …)
+    /// has been consumed. The caller verified the `#…#"` shape.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        self.code_push('"');
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need exactly `hashes` following `#`s to terminate.
+                for k in 0..hashes {
+                    if self.peek_at(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.code_push('"');
+        self.emit(Tok::Str, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Distinguish `'a'` (char) from `'a` (lifetime): after the tick,
+        // an escape means char; an ident followed by another tick means
+        // char (`'x'`); otherwise lifetime.
+        let next = self.peek_at(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => self.peek_at(2) == Some('\''),
+            Some(_) => true, // `'('`, `'1'`, `' '` …
+            None => false,
+        };
+        self.bump(); // tick
+        if is_char {
+            self.code_push('\'');
+            self.code_push(' ');
+            let mut first = true;
+            while let Some(c) = self.peek() {
+                if c == '\\' {
+                    self.bump();
+                    self.bump();
+                } else if c == '\'' && !first {
+                    self.bump();
+                    break;
+                } else if c == '\'' && first {
+                    // Empty char `''` cannot occur in valid Rust; consume.
+                    self.bump();
+                    break;
+                } else {
+                    self.bump();
+                }
+                first = false;
+            }
+            self.code_push('\'');
+            self.emit(Tok::Char, line);
+        } else {
+            self.code_push('\'');
+            let mut name = String::new();
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    self.bump();
+                    self.code_push(c);
+                    name.push(c);
+                } else {
+                    break;
+                }
+            }
+            self.emit(Tok::Lifetime(name), line);
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut is_float = false;
+        let mut text = String::new();
+        // Radix prefixes: hex/octal/binary are always integers.
+        if self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            for _ in 0..2 {
+                let c = self.bump().expect("peeked");
+                self.code_push(c);
+                text.push(c);
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.bump();
+                    self.code_push(c);
+                    text.push(c);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                    self.code_push(c);
+                    text.push(c);
+                } else if c == '.' {
+                    // `1..n` is a range; `1.0` is a float; `1.max` is a
+                    // method call on an integer literal.
+                    match self.peek_at(1) {
+                        Some(d) if d.is_ascii_digit() => {
+                            is_float = true;
+                            self.bump();
+                            self.code_push('.');
+                            text.push('.');
+                        }
+                        _ => break,
+                    }
+                } else if c == 'e' || c == 'E' {
+                    // Exponent only if followed by digits or a signed digit.
+                    let sign_off =
+                        usize::from(matches!(self.peek_at(1), Some('+') | Some('-')));
+                    if self
+                        .peek_at(1 + sign_off)
+                        .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        for _ in 0..=sign_off {
+                            let c = self.bump().expect("peeked");
+                            self.code_push(c);
+                            text.push(c);
+                        }
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+                self.code_push(c);
+                suffix.push(c);
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.emit(if is_float { Tok::Float } else { Tok::Int }, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+                name.push(c);
+            } else {
+                break;
+            }
+        }
+        // Literal prefixes: `r"`, `r#"`, `b"`, `br#"`, `b'`, `c"`, `cr#"`.
+        let raw_capable = matches!(name.as_str(), "r" | "br" | "rb" | "cr");
+        let str_capable = raw_capable || matches!(name.as_str(), "b" | "c");
+        match self.peek() {
+            Some('"') if str_capable && raw_capable => return self.raw_string(),
+            Some('"') if str_capable => return self.string_literal(Some(&name)),
+            Some('#') if raw_capable => {
+                // Either a raw string `r#"` / `r##"` … or a raw identifier
+                // `r#type`. Look past the run of `#`s.
+                let mut k = 0;
+                while self.peek_at(k) == Some('#') {
+                    k += 1;
+                }
+                if self.peek_at(k) == Some('"') {
+                    return self.raw_string();
+                }
+                if name == "r" && k == 1 && self.peek_at(1).is_some_and(is_ident_start) {
+                    // Raw identifier: emit the bare name.
+                    self.bump(); // `#`
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_continue(c) {
+                            self.bump();
+                            raw.push(c);
+                        } else {
+                            break;
+                        }
+                    }
+                    for c in raw.chars() {
+                        self.code_push(c);
+                    }
+                    self.emit(Tok::Ident(raw), line);
+                    return;
+                }
+            }
+            Some('\'') if name == "b" => {
+                // Byte char literal `b'x'`.
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        for c in name.chars() {
+            self.code_push(c);
+        }
+        self.emit(Tok::Ident(name), line);
+    }
+}
+
+/// Lexes one file.
+pub fn lex(source: &str) -> LexedFile {
+    let lexer = Lexer {
+        src: source.as_bytes(),
+        i: 0,
+        line: 1,
+        out: LexedFile::default(),
+    };
+    let mut out = lexer.lex();
+    // `code_lines` must cover every source line even if the file does not
+    // end in a newline.
+    let n_lines = source.lines().count().max(1);
+    while out.code_lines.len() < n_lines {
+        out.code_lines.push(String::new());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.tok.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let f = lex("fn main() {\n    let x = 1;\n}\n");
+        assert_eq!(idents("fn main() {}"), ["fn", "main"]);
+        let let_tok = f.toks.iter().find(|t| t.tok.ident() == Some("let")).unwrap();
+        assert_eq!(let_tok.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_entirely() {
+        // The old line scanner treated the `"` after `r#` as a plain string
+        // opener and un-blanked everything after the first interior `"`.
+        let src = r####"let s = r#"say "HashMap" loudly"#; let t = 1;"####;
+        let f = lex(src);
+        assert!(idents(src).iter().all(|i| i != "HashMap"), "{f:?}");
+        assert!(f.code_lines[0].contains("let t = 1"));
+        assert!(!f.code_lines[0].contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_multiline() {
+        let src = "let a = r##\"x \"# y\nstill in string\"##;\nuse std::x;";
+        let f = lex(src);
+        assert_eq!(f.code_lines.len(), 3);
+        assert!(!f.code_lines[1].contains("still"));
+        assert!(f.code_lines[2].contains("use std"));
+    }
+
+    #[test]
+    fn plain_multiline_string_blanked() {
+        let src = "let a = \"line one\nline two\"; let b = 2;";
+        let f = lex(src);
+        assert!(!f.code_lines[0].contains("line one"));
+        assert!(!f.code_lines[1].contains("line two"));
+        assert!(f.code_lines[1].contains("let b = 2"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let f = lex(r##"let a = b"bytes"; let c = br#"raw"#; let d = b'x';"##);
+        let strs = f.toks.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 2, "{f:?}");
+        assert_eq!(f.toks.iter().filter(|t| t.tok == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let f = lex("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = f
+            .toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(f.toks.iter().filter(|t| t.tok == Tok::Char).count(), 2);
+        // The `"` inside the char literal must not open a string.
+        assert!(f.code_lines[0].contains('}'));
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let f = lex("let a = 1.5; let b = 10; let c = 0..n; let d = 1e9; let e = 2f64; let g = 0xFF;");
+        let floats = f.toks.iter().filter(|t| t.tok == Tok::Float).count();
+        let ints = f.toks.iter().filter(|t| t.tok == Tok::Int).count();
+        assert_eq!(floats, 3, "{f:?}"); // 1.5, 1e9, 2f64
+        assert_eq!(ints, 3); // 10, 0, 0xFF
+    }
+
+    #[test]
+    fn comments_attributed_per_line() {
+        let src = "code(); // trailing note\n/* block\nspanning */ more();\n";
+        let f = lex(src);
+        assert_eq!(f.comment_on(1).trim(), "trailing note");
+        assert!(f.comment_on(2).contains("block"));
+        assert!(f.comment_on(3).contains("spanning"));
+        assert!(f.code_lines[2].contains("more()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let f = lex(src);
+        assert_eq!(idents(src), ["fn", "f"]);
+        assert!(f.comment_on(1).contains("still comment"));
+    }
+
+    #[test]
+    fn comment_text_preserves_utf8() {
+        let f = lex("let x = 1; // simlint: allow(rule) — em-dash justification\n/* blöck — täxt */\n");
+        assert!(f.comment_on(1).contains("— em-dash justification"));
+        assert!(f.comment_on(2).contains("blöck — täxt"));
+    }
+
+    #[test]
+    fn code_lines_preserve_spacing_for_line_matchers() {
+        let f = lex("let wire = seq as u32; // cast\n");
+        assert!(f.code_lines[0].contains(" as "));
+        assert!(!f.code_lines[0].contains("cast"));
+    }
+}

@@ -4,39 +4,56 @@
 //! headline, the M/G/1 short-flow bound, the `ℓ ≈ 0.76/W²` loss curve) rests
 //! on the discrete-event simulator being bit-for-bit deterministic under a
 //! fixed seed. `simlint` is a dependency-free, workspace-aware linter that
-//! scans the simulation crates (`simcore`, `netsim`, `tcpsim`, `traffic`)
-//! and rejects constructs that silently break that contract:
+//! scans the simulation crates (plus the driver layer) and rejects
+//! constructs that silently break that contract.
 //!
-//! * [`RuleId::HashContainer`] (`hash-container`) — no `HashMap`/`HashSet`
-//!   in sim crates. Their iteration order depends on a per-process hasher
-//!   seed; use `BTreeMap`/`BTreeSet`/`Vec` or a sorted wrapper instead.
-//! * [`RuleId::WallClock`] (`wall-clock`) — no wall-clock or OS entropy
-//!   (`Instant::now`, `SystemTime`, `rand::thread_rng`, `std::thread`)
-//!   inside simulation code. All time is `simcore::SimTime`; all randomness
-//!   flows from the master seed through `simcore::Rng`.
-//! * [`RuleId::LossyCast`] (`lossy-cast`) — no lossy `as` casts on sequence
-//!   numbers or byte counters (narrowing to `u32`/`u16`/`u8`/`i32`/…).
-//!   Wrapping 32-bit wire arithmetic lives in `tcpsim::seq`, the one waived
-//!   module.
-//! * [`RuleId::FloatTimeEq`] (`float-time-eq`) — no raw `==`/`!=` on
-//!   float-projected simulated time (`as_secs_f64()`); compare `SimTime`
-//!   values, which are exact integer nanoseconds.
+//! ## Architecture (v2)
 //!
-//! Rules are configured by `simlint.toml` at the workspace root and can be
-//! waived per line (`// simlint: allow(rule)`), for the next line (a waiver
-//! comment on a line of its own), or per file (`// simlint:
-//! allow-file(rule)`).
+//! * [`lex`] — a token lexer for Rust: raw/byte/C strings, nested block
+//!   comments, char-vs-lifetime disambiguation, float-vs-int literals. It
+//!   produces a token stream, per-line comment text (for waiver parsing),
+//!   and per-line blanked code (for the line-shaped matchers).
+//! * [`graph`] — a per-crate symbol/call graph built from the tokens: `fn`
+//!   bodies, `#[cfg(test)]` regions, and `// simlint: hot-path` regions,
+//!   with hotness propagated one call level deep so an allocation in a
+//!   helper *called from* a marked region is still a finding.
+//! * [`rules`] — the thirteen rules (see [`RuleId::ALL`]), each with a
+//!   default severity ([`rules::Severity`]): `deny` rules break determinism
+//!   today, `warn` rules break it under planned parallel-DES work. The
+//!   authoritative rule table (rationale, scope, waiver policy) lives in
+//!   `DESIGN.md` §7.
+//! * [`scan`] — scoping (test regions, kernel-only rules, hot regions),
+//!   waiver application, and the waiver audit: every
+//!   `// simlint: allow(rule): justification` must carry a justification,
+//!   and a waiver that suppresses nothing is reported *stale*.
+//! * [`report`] — the byte-stable `artifacts/simlint.json` report, the
+//!   committed `artifacts/simlint_baseline.json`, and the ratchet
+//!   (violation counts may only go down; new waivers require a deliberate
+//!   baseline regeneration).
 //!
-//! The linter runs as a binary (`cargo run -p simlint`) and as a library
-//! from the tier-1 test `tests/static_analysis.rs`, which asserts zero
-//! violations. Its dynamic counterpart is `netsim::Auditor`, which checks at
-//! run time what a static pass cannot see (packet conservation, queue
-//! bounds, event-time monotonicity).
+//! Rules are configured by `simlint.toml` at the workspace root and waived
+//! per line (`// simlint: allow(rule): why`), for the next line (a waiver
+//! comment on a line of its own), or per file
+//! (`// simlint: allow-file(rule): why`).
+//!
+//! The linter runs as a binary (`cargo run -p simlint`, see `main.rs` for
+//! the `--format json` / `--ratchet` / `--write-baseline` flags) and as a
+//! library from the tier-1 test `tests/static_analysis.rs`, which asserts
+//! zero violations. Its dynamic counterpart is `netsim::Auditor`, which
+//! checks at run time what a static pass cannot see (packet conservation,
+//! queue bounds, event-time monotonicity).
 
 pub mod config;
+pub mod graph;
+pub mod lex;
+pub mod report;
 pub mod rules;
 pub mod scan;
 
 pub use config::{Config, RuleSettings};
-pub use rules::RuleId;
-pub use scan::{check_source, check_workspace, Violation};
+pub use report::{parse_baseline, ratchet, render_baseline, render_report, Baseline};
+pub use rules::{RuleId, Severity};
+pub use scan::{
+    analyze_source, analyze_workspace, check_source, check_workspace, Analysis, Violation, Waiver,
+    WaiverKind,
+};

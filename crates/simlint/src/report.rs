@@ -1,0 +1,518 @@
+//! Machine-readable output: the `artifacts/simlint.json` report, the
+//! committed `artifacts/simlint_baseline.json`, and the ratchet that
+//! compares them.
+//!
+//! Everything here is hand-rolled (simlint is dependency-free) and
+//! **byte-stable**: keys are emitted in a fixed order, collections are
+//! sorted upstream ([`Analysis`] sorts by file/line/rule), and nothing
+//! time- or environment-dependent is written. Running the linter twice on
+//! the same tree must produce identical bytes — `scripts/check.sh` relies
+//! on that to diff against the committed report.
+//!
+//! The **ratchet** contract: per-rule violation counts may only go *down*
+//! relative to the committed baseline, and the waiver inventory may not
+//! grow — adding a waiver requires deliberately regenerating the baseline
+//! (`simlint --write-baseline`), which makes new exceptions reviewable.
+
+use crate::rules::{RuleId, Severity};
+use crate::scan::Analysis;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Escapes a string for JSON output.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full JSON report for one analysis run.
+pub fn render_report(analysis: &Analysis) -> String {
+    let counts = analysis.rule_counts();
+    let deny = analysis
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Deny)
+        .count();
+    let warn = analysis.violations.len() - deny;
+    let stale = counts.get(&RuleId::StaleWaiver).copied().unwrap_or(0);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"summary\": {\n");
+    let _ = writeln!(s, "    \"violations\": {},", analysis.violations.len());
+    let _ = writeln!(s, "    \"deny\": {deny},");
+    let _ = writeln!(s, "    \"warn\": {warn},");
+    let _ = writeln!(s, "    \"waivers\": {},", analysis.waivers.len());
+    let _ = writeln!(s, "    \"stale_waivers\": {stale}");
+    s.push_str("  },\n");
+    s.push_str("  \"rule_counts\": {\n");
+    for (i, rule) in RuleId::ALL.iter().enumerate() {
+        let comma = if i + 1 < RuleId::ALL.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{}\": {}{comma}", rule.name(), counts[rule]);
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"violations\": [");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        let comma = if i + 1 < analysis.violations.len() { "," } else { "" };
+        let _ = write!(
+            s,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \"snippet\": \"{}\"}}{comma}",
+            esc(&v.file),
+            v.line,
+            v.rule.name(),
+            v.severity.name(),
+            esc(&v.message),
+            esc(&v.snippet),
+        );
+    }
+    if !analysis.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"waivers\": [");
+    for (i, w) in analysis.waivers.iter().enumerate() {
+        let comma = if i + 1 < analysis.waivers.len() { "," } else { "" };
+        let justification = match &w.justification {
+            Some(j) => format!("\"{}\"", esc(j)),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            s,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"rule\": \"{}\", \"justification\": {justification}, \"used\": {}}}{comma}",
+            esc(&w.file),
+            w.line,
+            w.kind.name(),
+            esc(&w.rule_name),
+            w.used,
+        );
+    }
+    if !analysis.waivers.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The committed ratchet state: per-rule violation counts plus the waiver
+/// inventory (as [`crate::scan::Waiver::key`] strings).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Violation count per rule name.
+    pub rule_counts: BTreeMap<String, usize>,
+    /// Sanctioned waiver keys (`file:line:kind:rule`).
+    pub waivers: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Captures the baseline of an analysis run.
+    pub fn capture(analysis: &Analysis) -> Baseline {
+        Baseline {
+            rule_counts: analysis
+                .rule_counts()
+                .into_iter()
+                .map(|(r, n)| (r.name().to_string(), n))
+                .collect(),
+            waivers: analysis.waivers.iter().map(|w| w.key()).collect(),
+        }
+    }
+}
+
+/// Renders the baseline file.
+pub fn render_baseline(baseline: &Baseline) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"rule_counts\": {\n");
+    for (i, (name, n)) in baseline.rule_counts.iter().enumerate() {
+        let comma = if i + 1 < baseline.rule_counts.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{}\": {n}{comma}", esc(name));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"waivers\": [");
+    for (i, key) in baseline.waivers.iter().enumerate() {
+        let comma = if i + 1 < baseline.waivers.len() { "," } else { "" };
+        let _ = write!(s, "\n    \"{}\"{comma}", esc(key));
+    }
+    if !baseline.waivers.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Parses a baseline file (the JSON subset [`render_baseline`] emits).
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let json = Json::parse(text)?;
+    let obj = json.as_obj().ok_or("baseline: top level must be an object")?;
+    let mut out = Baseline::default();
+    match obj.get("schema") {
+        Some(Json::Num(1)) => {}
+        other => return Err(format!("baseline: unsupported schema {other:?}")),
+    }
+    let counts = obj
+        .get("rule_counts")
+        .and_then(Json::as_obj)
+        .ok_or("baseline: missing `rule_counts` object")?;
+    for (name, v) in counts {
+        let n = match v {
+            Json::Num(n) if *n >= 0 => *n as usize,
+            _ => return Err(format!("baseline: count for `{name}` must be a non-negative integer")),
+        };
+        out.rule_counts.insert(name.clone(), n);
+    }
+    let waivers = obj
+        .get("waivers")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing `waivers` array")?;
+    for w in waivers {
+        match w {
+            Json::Str(s) => {
+                out.waivers.insert(s.clone());
+            }
+            _ => return Err("baseline: waiver entries must be strings".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Compares an analysis run against the committed baseline. Returns the
+/// list of ratchet failures (empty = pass).
+pub fn ratchet(analysis: &Analysis, baseline: &Baseline) -> Vec<String> {
+    let mut failures = Vec::new();
+    let current = Baseline::capture(analysis);
+    for (name, &n) in &current.rule_counts {
+        let allowed = baseline.rule_counts.get(name).copied().unwrap_or(0);
+        if n > allowed {
+            failures.push(format!(
+                "rule `{name}`: {n} violation(s), baseline allows {allowed} — fix or waive (with justification), the ratchet only goes down"
+            ));
+        }
+    }
+    for key in current.waivers.difference(&baseline.waivers) {
+        failures.push(format!(
+            "new waiver `{key}` not in the committed baseline — if sanctioned, regenerate it with `cargo run -p simlint -- --write-baseline`"
+        ));
+    }
+    failures
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser (for the baseline file only).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (integer-only numbers — all this format uses).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Json {
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+    /// An array.
+    Arr(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// An integer.
+    Num(i64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("json: trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\n' | b'\t' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected `{}` at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("json: unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("json: bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("json: bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("json: unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b'u') => {
+                            // `\uXXXX` — decode the BMP code point.
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("json: bad \\u escape")?;
+                            let c = char::from_u32(hex).ok_or("json: bad code point")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            self.i += 4;
+                        }
+                        _ => return Err("json: bad escape".to_string()),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+        String::from_utf8(out).map_err(|e| format!("json: invalid utf-8 in string: {e}"))
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            m.insert(key, v);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(format!("json: expected `,` or `}}` at offset {}", self.i)),
+            }
+        }
+        Ok(Json::Obj(m))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            self.ws();
+            v.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(format!("json: expected `,` or `]` at offset {}", self.i)),
+            }
+        }
+        Ok(Json::Arr(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::scan::analyze_source;
+
+    fn kernel_analysis(src: &str) -> Analysis {
+        analyze_source("crates/simcore/src/x.rs", src, &Config::default_contract())
+    }
+
+    #[test]
+    fn report_is_byte_stable_and_parseable() {
+        let src = "
+            fn f(q: &mut Q) { let x = q.pop().unwrap(); }
+            // simlint: allow-file(wall-clock): bench shim, measures host time
+            fn g() { let t = std::time::Instant::now(); }
+        ";
+        let a = kernel_analysis(src);
+        let r1 = render_report(&a);
+        let r2 = render_report(&kernel_analysis(src));
+        assert_eq!(r1, r2);
+        // The report must be valid JSON (our own parser accepts it).
+        let parsed = Json::parse(&r1).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert!(obj.contains_key("summary"));
+        assert!(obj.contains_key("violations"));
+        assert!(obj.contains_key("waivers"));
+        // All 13 rules appear in rule_counts.
+        assert_eq!(obj["rule_counts"].as_obj().unwrap().len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let a = kernel_analysis(
+            "
+            fn f(q: &mut Q) { let x = q.pop().unwrap(); }
+            use std::collections::HashMap; // simlint: allow(hash-container): interop
+            ",
+        );
+        let b = Baseline::capture(&a);
+        let rendered = render_baseline(&b);
+        let parsed = parse_baseline(&rendered).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.rule_counts["panic-in-kernel"], 1);
+        assert_eq!(parsed.waivers.len(), 1);
+    }
+
+    #[test]
+    fn ratchet_passes_at_baseline_and_fails_above() {
+        let clean = kernel_analysis("fn f() {}");
+        let dirty = kernel_analysis("fn f(q: &mut Q) { let x = q.pop().unwrap(); }");
+        let base = Baseline::capture(&clean);
+        assert!(ratchet(&clean, &base).is_empty());
+        let failures = ratchet(&dirty, &base);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("panic-in-kernel"), "{failures:?}");
+        // Going *down* from a non-zero baseline passes.
+        assert!(ratchet(&clean, &Baseline::capture(&dirty)).is_empty());
+    }
+
+    #[test]
+    fn ratchet_rejects_new_waivers() {
+        let clean = kernel_analysis("fn f() {}");
+        let waived = kernel_analysis(
+            "use std::collections::HashMap; // simlint: allow(hash-container): shim",
+        );
+        let failures = ratchet(&waived, &Baseline::capture(&clean));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("new waiver"), "{failures:?}");
+    }
+
+    #[test]
+    fn ratchet_fails_on_stale_waiver() {
+        // A waiver that stops suppressing fires `stale-waiver`, which the
+        // zero baseline rejects.
+        let clean = kernel_analysis("fn f() {}");
+        let stale = kernel_analysis("fn f() {} // simlint: allow(hash-container): was needed");
+        let base = Baseline::capture(&clean);
+        let failures = ratchet(&stale, &base);
+        assert!(
+            failures.iter().any(|f| f.contains("stale-waiver")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let parsed = Json::parse("{\"k\": \"a\\\"b\\\\c\\nd\"}").unwrap();
+        assert_eq!(parsed.as_obj().unwrap()["k"], Json::Str("a\"b\\c\nd".into()));
+    }
+}

@@ -1,8 +1,54 @@
-//! The determinism-contract rules and their per-line matchers.
+//! The determinism-contract rules: identifiers, severities, and matchers.
 //!
-//! Matchers operate on *code text* — the scanner strips comments and string
-//! literal contents first (see [`crate::scan`]) so that prose mentioning
-//! `HashMap` or an error message containing `thread_rng` never trips a rule.
+//! Two matcher families coexist:
+//!
+//! * **Line matchers** ([`RuleId::check_line`]) operate on one line of
+//!   comment/string-stripped code (produced by the lexer, see
+//!   [`crate::lex`]) — the original rules keep their battle-tested
+//!   spacing-sensitive patterns.
+//! * **Token matchers** ([`check_tokens`]) operate on the whole file's
+//!   token stream — the v2 rules (`unordered-iter`, `float-reduction`,
+//!   `unstable-sort-tiebreak`, `shared-mut-state`, `panic-in-kernel`) need
+//!   cross-token context (turbofish types, argument spans, local taint)
+//!   that a single line cannot carry.
+//!
+//! Severities: a `deny` rule breaks determinism *today*; a `warn` rule
+//! breaks it under planned work (parallel-DES float reductions) or is a
+//! robustness hazard (kernel panics). Both count as violations — the
+//! contract is zero unwaived findings — but they are ratcheted separately
+//! in `artifacts/simlint_baseline.json` (see [`crate::report`]).
+
+use crate::lex::{LexedFile, Spanned, Tok};
+use std::collections::BTreeSet;
+
+/// Violation severity, attached to every finding and to the JSON report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Breaks the determinism contract as the code stands.
+    Deny,
+    /// Breaks determinism under planned parallel-DES work, or is a
+    /// robustness hazard on the dispatch path.
+    Warn,
+}
+
+impl Severity {
+    /// The severity's name as used in config and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// Parses a severity name.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            _ => None,
+        }
+    }
+}
 
 /// Identifies one rule of the determinism contract.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -21,23 +67,58 @@ pub enum RuleId {
     /// log, spans, forensics) and their cost is invisible to the profiler.
     PrintMacro,
     /// D6: no `Box::new`/`Vec::new` inside a per-event dispatch region
-    /// (a function marked `// simlint: hot-path`). These paths run once per
-    /// simulated event — hundreds of millions of times per sweep — and a
-    /// heap allocation there dominates the event loop. Allocate at setup
-    /// time and reuse (scratch buffers via `std::mem::take`, preallocated
-    /// slabs); genuinely-amortized allocations carry a line waiver.
+    /// (a function marked `// simlint: hot-path`) **or inside any function
+    /// called from one, one level deep within the crate** (the
+    /// interprocedural pass, see [`crate::graph`]). These paths run once
+    /// per simulated event; a heap allocation there dominates the event
+    /// loop. Allocate at setup time and reuse.
     HotPathAlloc,
+    /// D7: no iteration over hash-ordered containers, even through
+    /// generics (`BuildHasher`/`RandomState` bounds, `hash_map::` iterator
+    /// types, `.iter()`/`.keys()`/`for … in` on a hash-typed binding).
+    UnorderedIter,
+    /// D8: no order-sensitive float reductions (`.sum::<f64>()`, float
+    /// `fold`) in kernel crates — float addition is non-associative, so a
+    /// future parallel-DES partition would change the result bit pattern.
+    FloatReduction,
+    /// D9: `sort_unstable_by*` must supply a total tie-break (a `.then*`
+    /// chain or a composite tuple key); without one, elements comparing
+    /// equal keep whatever relative order the input happened to have.
+    UnstableSortTiebreak,
+    /// D10: no shared mutable state in kernel crates — `static mut`,
+    /// `Mutex`/`RwLock`/`Condvar`, or `Relaxed` atomic orderings. The
+    /// simulation crates are single-threaded by contract; shared state is
+    /// how a future parallel-DES run silently diverges.
+    SharedMutState,
+    /// D11: no `unwrap`/`expect`/`panic!` family on non-test kernel code.
+    /// A panic mid-dispatch tears down the whole sweep cell and loses the
+    /// packet log that would explain it; use invariant-documented `expect`
+    /// under a justified waiver, or a structured error.
+    PanicInKernel,
+    /// M1 (meta): every waiver must carry a justification suffix
+    /// (`// simlint: allow(rule): why`), and the rule list must parse.
+    WaiverJustification,
+    /// M2 (meta): a waiver whose rule no longer fires on the waived scope
+    /// is *stale* and must be removed.
+    StaleWaiver,
 }
 
 impl RuleId {
-    /// All rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    /// All rules, in canonical order.
+    pub const ALL: [RuleId; 13] = [
         RuleId::HashContainer,
         RuleId::WallClock,
         RuleId::LossyCast,
         RuleId::FloatTimeEq,
         RuleId::PrintMacro,
         RuleId::HotPathAlloc,
+        RuleId::UnorderedIter,
+        RuleId::FloatReduction,
+        RuleId::UnstableSortTiebreak,
+        RuleId::SharedMutState,
+        RuleId::PanicInKernel,
+        RuleId::WaiverJustification,
+        RuleId::StaleWaiver,
     ];
 
     /// The rule's name as used in `simlint.toml` and waiver comments.
@@ -49,14 +130,54 @@ impl RuleId {
             RuleId::FloatTimeEq => "float-time-eq",
             RuleId::PrintMacro => "print-macro",
             RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::UnorderedIter => "unordered-iter",
+            RuleId::FloatReduction => "float-reduction",
+            RuleId::UnstableSortTiebreak => "unstable-sort-tiebreak",
+            RuleId::SharedMutState => "shared-mut-state",
+            RuleId::PanicInKernel => "panic-in-kernel",
+            RuleId::WaiverJustification => "waiver-justification",
+            RuleId::StaleWaiver => "stale-waiver",
         }
     }
 
-    /// Whether this rule only applies inside `// simlint: hot-path` regions
-    /// (per-event dispatch functions). Region tracking lives in the scanner;
-    /// globally-scoped rules ignore it.
+    /// Default severity (overridable per rule in `simlint.toml`).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            RuleId::FloatReduction | RuleId::PanicInKernel => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// Whether `#[cfg(test)]` code is exempt by default. `panic-in-kernel`
+    /// skips tests out of the box (tests *should* unwrap), as does
+    /// `float-reduction` (test statistics helpers sum sampled floats to
+    /// compare against tolerances — no parallel-DES partition will ever run
+    /// them). Every other rule guards test determinism too.
+    pub fn default_skip_tests(self) -> bool {
+        matches!(self, RuleId::PanicInKernel | RuleId::FloatReduction)
+    }
+
+    /// Whether this rule only applies to files under the configured
+    /// `kernel_roots` (the single-threaded simulation crates), as opposed
+    /// to every scanned root.
+    pub fn kernel_only(self) -> bool {
+        matches!(
+            self,
+            RuleId::FloatReduction | RuleId::SharedMutState | RuleId::PanicInKernel
+        )
+    }
+
+    /// Whether this rule only applies inside hot-path regions (directly
+    /// marked or transitively reached; region tracking lives in the
+    /// scanner).
     pub fn hot_path_only(self) -> bool {
         matches!(self, RuleId::HotPathAlloc)
+    }
+
+    /// Meta rules audit the waivers themselves; they cannot be waived and
+    /// never match source constructs.
+    pub fn is_meta(self) -> bool {
+        matches!(self, RuleId::WaiverJustification | RuleId::StaleWaiver)
     }
 
     /// Parses a rule name (as written in config/waivers).
@@ -83,13 +204,34 @@ impl RuleId {
                 "ad-hoc print in simulation code; record through telemetry/spans/forensics so output stays structured and the profiler sees the cost"
             }
             RuleId::HotPathAlloc => {
-                "heap allocation in a per-event dispatch path; preallocate at setup and reuse (scratch buffer / slab), or waive if provably amortized"
+                "heap allocation on a per-event dispatch path (marked or called from one); preallocate at setup and reuse, or waive if provably amortized"
+            }
+            RuleId::UnorderedIter => {
+                "iteration order of hash-based containers is per-process random, even behind generics; iterate a BTree/Vec or sort first"
+            }
+            RuleId::FloatReduction => {
+                "float reduction order changes the result bit pattern; a parallel-DES partition would diverge — reduce over integers, use a fixed tree, or waive setup-time scalars"
+            }
+            RuleId::UnstableSortTiebreak => {
+                "unstable sort with a non-total comparator lets equal elements keep input order; add a `.then*` tie-break or a composite tuple key"
+            }
+            RuleId::SharedMutState => {
+                "shared mutable state (static mut / locks / Relaxed atomics) has no place in the single-threaded kernel; thread state through &mut or the driver layer"
+            }
+            RuleId::PanicInKernel => {
+                "a kernel panic tears down the sweep cell and its packet log; return a structured error or document the invariant with an expect + justified waiver"
+            }
+            RuleId::WaiverJustification => {
+                "every waiver must say why: `// simlint: allow(rule): justification`"
+            }
+            RuleId::StaleWaiver => {
+                "this waiver no longer suppresses anything; remove it so dead waivers cannot hide future regressions"
             }
         }
     }
 
-    /// Runs this rule against one line of comment/string-stripped code.
-    /// Returns a short description of the offending construct, if any.
+    /// Runs this rule's *line* matcher against one line of stripped code.
+    /// Token-matched and meta rules return `None` here.
     pub fn check_line(self, code: &str) -> Option<String> {
         match self {
             RuleId::HashContainer => check_hash_container(code),
@@ -98,8 +240,38 @@ impl RuleId {
             RuleId::FloatTimeEq => check_float_time_eq(code),
             RuleId::PrintMacro => check_print_macro(code),
             RuleId::HotPathAlloc => check_hot_path_alloc(code),
+            _ => None,
         }
     }
+}
+
+/// A candidate finding from a token matcher (waivers and scoping are
+/// applied by the scanner).
+#[derive(Clone, Debug)]
+pub struct TokenFinding {
+    /// 1-based line of the construct.
+    pub line: usize,
+    /// The rule that matched.
+    pub rule: RuleId,
+    /// What was found.
+    pub message: String,
+}
+
+/// Runs every token-family rule over one lexed file.
+pub fn check_tokens(lf: &LexedFile) -> Vec<TokenFinding> {
+    let mut out = Vec::new();
+    check_unordered_iter(lf, &mut out);
+    check_float_reduction(lf, &mut out);
+    check_unstable_sort(lf, &mut out);
+    check_shared_mut_state(lf, &mut out);
+    check_panic_in_kernel(lf, &mut out);
+    // One finding per (line, rule): several heuristics of the same rule can
+    // recognize the same construct (a `for` loop over `m.iter()` matches
+    // both the loop and the method matcher); reporting it once keeps the
+    // fix-one-see-next loop sane and the JSON report stable.
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup_by(|a, b| (a.line, a.rule) == (b.line, b.rule));
+    out
 }
 
 /// True iff `hay[i..]` starts with `needle` at an identifier boundary on
@@ -130,6 +302,10 @@ fn find_word(hay: &str, needle: &str) -> Option<usize> {
     }
     None
 }
+
+// ---------------------------------------------------------------------------
+// Line matchers (v1 rules).
+// ---------------------------------------------------------------------------
 
 fn check_hash_container(code: &str) -> Option<String> {
     for banned in ["HashMap", "HashSet"] {
@@ -220,6 +396,20 @@ fn check_float_time_eq(code: &str) -> Option<String> {
     None
 }
 
+fn check_print_macro(code: &str) -> Option<String> {
+    for banned in ["println", "eprintln", "dbg"] {
+        let mut start = 0;
+        while let Some(off) = code[start..].find(banned) {
+            let i = start + off;
+            if word_at(code, i, banned) && code[i + banned.len()..].starts_with('!') {
+                return Some(format!("use of `{banned}!`"));
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
 fn check_hot_path_alloc(code: &str) -> Option<String> {
     // Only the unambiguous allocator entry points: `Box::new(…)` and
     // `Vec::new(`/`Vec::with_capacity(` spelled as path calls. Growth of an
@@ -242,23 +432,350 @@ fn check_hot_path_alloc(code: &str) -> Option<String> {
     None
 }
 
-fn check_print_macro(code: &str) -> Option<String> {
-    for banned in ["println", "eprintln", "dbg"] {
-        let mut start = 0;
-        while let Some(off) = code[start..].find(banned) {
-            let i = start + off;
-            if word_at(code, i, banned) && code[i + banned.len()..].starts_with('!') {
-                return Some(format!("use of `{banned}!`"));
+// ---------------------------------------------------------------------------
+// Token matchers (v2 rules).
+// ---------------------------------------------------------------------------
+
+/// Hash-ordered container type names (including the common external
+/// aliases, so a rename cannot smuggle one in).
+const HASH_TYPES: [&str; 6] = [
+    "HashMap", "HashSet", "FxHashMap", "FxHashSet", "AHashMap", "AHashSet",
+];
+
+/// Iteration methods whose order is observable.
+const ITER_METHODS: [&str; 9] = [
+    "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "into_keys",
+    "into_values", "drain",
+];
+
+fn ident_is<'a>(toks: &'a [Spanned], i: usize) -> Option<&'a str> {
+    toks.get(i).and_then(|t| t.tok.ident())
+}
+
+fn is_punct(toks: &[Spanned], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.tok.is_punct(c))
+}
+
+fn check_unordered_iter(lf: &LexedFile, out: &mut Vec<TokenFinding>) {
+    let toks = &lf.toks;
+
+    // Pass 1: taint local bindings and parameters whose declared type or
+    // initializer mentions a hash container. Two shapes:
+    //   `let [mut] name … ;` with a hash type before the `;`
+    //   `name : …HashType…` up to `,` / `)` / `{` / `=` (params, fields)
+    let mut tainted: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if ident_is(toks, i) == Some("let") {
+            let mut j = i + 1;
+            if ident_is(toks, j) == Some("mut") {
+                j += 1;
             }
-            start = i + 1;
+            let Some(name) = ident_is(toks, j) else { continue };
+            // Scan the statement for a hash type (bounded).
+            for t in toks.iter().skip(j + 1).take(48) {
+                match &t.tok {
+                    Tok::Punct(';') => break,
+                    Tok::Ident(s) if HASH_TYPES.contains(&s.as_str()) => {
+                        tainted.insert(name);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        } else if is_punct(toks, i + 1, ':') && !is_punct(toks, i + 2, ':') && !is_punct(toks, i, ':')
+        {
+            let Some(name) = ident_is(toks, i) else { continue };
+            for t in toks.iter().skip(i + 2).take(32) {
+                match &t.tok {
+                    Tok::Punct(',') | Tok::Punct(')') | Tok::Punct('{') | Tok::Punct(';')
+                    | Tok::Punct('=') => break,
+                    Tok::Ident(s) if HASH_TYPES.contains(&s.as_str()) => {
+                        tainted.insert(name);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
         }
     }
-    None
+
+    for i in 0..toks.len() {
+        let Some(name) = ident_is(toks, i) else { continue };
+        let line = toks[i].line;
+
+        // Hash-generic bounds and hasher types: code generic over the
+        // hasher can iterate a HashMap it never names.
+        if name == "BuildHasher" || name == "RandomState" {
+            out.push(TokenFinding {
+                line,
+                rule: RuleId::UnorderedIter,
+                message: format!("hash-generic type/bound `{name}`"),
+            });
+            continue;
+        }
+        // Hash iterator modules (`std::collections::hash_map::Iter`, …).
+        if name == "hash_map" || name == "hash_set" {
+            out.push(TokenFinding {
+                line,
+                rule: RuleId::UnorderedIter,
+                message: format!("hash-ordered iterator module `{name}`"),
+            });
+            continue;
+        }
+
+        // `receiver.iter()`-family where the receiver chain mentions a hash
+        // type or tainted binding.
+        if ITER_METHODS.contains(&name)
+            && i >= 2
+            && is_punct(toks, i - 1, '.')
+            && is_punct(toks, i + 1, '(')
+        {
+            // Walk the receiver chain backwards (bounded) to a statement
+            // boundary.
+            let start = i.saturating_sub(24);
+            let mut hash_receiver = None;
+            for k in (start..i - 1).rev() {
+                match &toks[k].tok {
+                    Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('=') => break,
+                    Tok::Ident(s) if HASH_TYPES.contains(&s.as_str()) => {
+                        hash_receiver = Some(s.clone());
+                        break;
+                    }
+                    Tok::Ident(s) if tainted.contains(s.as_str()) => {
+                        hash_receiver = Some(s.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(recv) = hash_receiver {
+                out.push(TokenFinding {
+                    line,
+                    rule: RuleId::UnorderedIter,
+                    message: format!("`.{name}()` over hash-ordered `{recv}`"),
+                });
+                continue;
+            }
+        }
+
+        // `for x in <expr mentioning hash/tainted>` up to the body `{`.
+        if name == "for" {
+            let mut j = i + 1;
+            let mut saw_in = false;
+            let mut hash_src = None;
+            while j < toks.len() && j < i + 48 {
+                match &toks[j].tok {
+                    Tok::Ident(s) if s == "in" => saw_in = true,
+                    Tok::Punct('{') if saw_in => break,
+                    Tok::Punct(';') => break,
+                    Tok::Ident(s)
+                        if saw_in
+                            && (HASH_TYPES.contains(&s.as_str())
+                                || tainted.contains(s.as_str())) =>
+                    {
+                        hash_src = Some(s.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(src) = hash_src {
+                out.push(TokenFinding {
+                    line,
+                    rule: RuleId::UnorderedIter,
+                    message: format!("`for … in` over hash-ordered `{src}`"),
+                });
+            }
+        }
+    }
+}
+
+fn check_float_reduction(lf: &LexedFile, out: &mut Vec<TokenFinding>) {
+    let toks = &lf.toks;
+    for i in 0..toks.len() {
+        let Some(name) = ident_is(toks, i) else { continue };
+        // Only method position (`.sum`, `.fold`); free fns are fine.
+        if i == 0 || !is_punct(toks, i - 1, '.') {
+            continue;
+        }
+        let line = toks[i].line;
+        match name {
+            "sum" | "product" => {
+                // `.sum::<f64>()` — turbofish float type.
+                if is_punct(toks, i + 1, ':')
+                    && is_punct(toks, i + 2, ':')
+                    && is_punct(toks, i + 3, '<')
+                    && matches!(ident_is(toks, i + 4), Some("f64") | Some("f32"))
+                {
+                    out.push(TokenFinding {
+                        line,
+                        rule: RuleId::FloatReduction,
+                        message: format!(
+                            "`.{name}::<{}>()` — order-sensitive float reduction",
+                            ident_is(toks, i + 4).expect("matched")
+                        ),
+                    });
+                }
+            }
+            "fold" => {
+                if !is_punct(toks, i + 1, '(') {
+                    continue;
+                }
+                // Scan the argument span for a float accumulator and an
+                // additive/multiplicative combine.
+                let mut depth = 0i64;
+                let mut has_float = false;
+                let mut has_combine = false;
+                for t in toks.iter().skip(i + 1) {
+                    match &t.tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Float => has_float = true,
+                        Tok::Punct('+') | Tok::Punct('*') => has_combine = true,
+                        _ => {}
+                    }
+                }
+                if has_float && has_combine {
+                    out.push(TokenFinding {
+                        line,
+                        rule: RuleId::FloatReduction,
+                        message: "float `fold` accumulation — order-sensitive".to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_unstable_sort(lf: &LexedFile, out: &mut Vec<TokenFinding>) {
+    let toks = &lf.toks;
+    for i in 0..toks.len() {
+        let Some(name) = ident_is(toks, i) else { continue };
+        if name != "sort_unstable_by" && name != "sort_unstable_by_key" {
+            continue;
+        }
+        if !is_punct(toks, i + 1, '(') {
+            continue;
+        }
+        // Scan the comparator/key span: a total tie-break is either a
+        // `.then*` chain or a composite key/comparand — a `,` inside inner
+        // parens (tuple) at depth ≥ 2 relative to the call.
+        let mut depth = 0i64;
+        let mut tie_break = false;
+        for (off, t) in toks.iter().skip(i + 1).enumerate() {
+            match &t.tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(',') if depth >= 2 => tie_break = true,
+                Tok::Ident(s) if s == "then" || s == "then_with" || s == "then_cmp" => {
+                    tie_break = true
+                }
+                _ => {}
+            }
+            if off > 96 {
+                break; // bounded scan; pathological spans err toward firing
+            }
+        }
+        if !tie_break {
+            out.push(TokenFinding {
+                line: toks[i].line,
+                rule: RuleId::UnstableSortTiebreak,
+                message: format!("`{name}` without a total tie-break"),
+            });
+        }
+    }
+}
+
+fn check_shared_mut_state(lf: &LexedFile, out: &mut Vec<TokenFinding>) {
+    let toks = &lf.toks;
+    for i in 0..toks.len() {
+        let Some(name) = ident_is(toks, i) else { continue };
+        let line = toks[i].line;
+        match name {
+            "static" if ident_is(toks, i + 1) == Some("mut") => {
+                out.push(TokenFinding {
+                    line,
+                    rule: RuleId::SharedMutState,
+                    message: "`static mut` item".to_string(),
+                });
+            }
+            "Mutex" | "RwLock" | "Condvar" => {
+                out.push(TokenFinding {
+                    line,
+                    rule: RuleId::SharedMutState,
+                    message: format!("sync primitive `{name}`"),
+                });
+            }
+            "Relaxed" => {
+                out.push(TokenFinding {
+                    line,
+                    rule: RuleId::SharedMutState,
+                    message: "`Relaxed` atomic ordering".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_panic_in_kernel(lf: &LexedFile, out: &mut Vec<TokenFinding>) {
+    let toks = &lf.toks;
+    for i in 0..toks.len() {
+        let Some(name) = ident_is(toks, i) else { continue };
+        let line = toks[i].line;
+        match name {
+            "unwrap" | "expect" => {
+                // `Option/Result::unwrap` takes no arguments — an
+                // argument-taking `.unwrap(x)` is a different method (e.g.
+                // the 32-bit sequence unwrapper in `tcpsim::seq`).
+                let arity_ok = match name {
+                    "unwrap" => is_punct(toks, i + 2, ')'),
+                    _ => true,
+                };
+                if i >= 1 && is_punct(toks, i - 1, '.') && is_punct(toks, i + 1, '(') && arity_ok {
+                    out.push(TokenFinding {
+                        line,
+                        rule: RuleId::PanicInKernel,
+                        message: format!("`.{name}()` on the kernel path"),
+                    });
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                if is_punct(toks, i + 1, '!') {
+                    out.push(TokenFinding {
+                        line,
+                        rule: RuleId::PanicInKernel,
+                        message: format!("`{name}!` in kernel code"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lex::lex;
+
+    fn findings(src: &str, rule: RuleId) -> Vec<TokenFinding> {
+        check_tokens(&lex(src))
+            .into_iter()
+            .filter(|f| f.rule == rule)
+            .collect()
+    }
 
     #[test]
     fn rule_names_roundtrip() {
@@ -269,10 +786,18 @@ mod tests {
     }
 
     #[test]
+    fn severity_defaults_and_parse() {
+        assert_eq!(RuleId::HashContainer.default_severity(), Severity::Deny);
+        assert_eq!(RuleId::PanicInKernel.default_severity(), Severity::Warn);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("deny"), Some(Severity::Deny));
+        assert_eq!(Severity::parse("loud"), None);
+    }
+
+    #[test]
     fn hash_container_positive_and_negative() {
         assert!(check_hash_container("let m: HashMap<u32, u64> = HashMap::new();").is_some());
         assert!(check_hash_container("use std::collections::HashSet;").is_some());
-        // Identifier boundaries: a type merely containing the name is fine.
         assert!(check_hash_container("struct MyHashMapLike;").is_none());
         assert!(check_hash_container("let m = BTreeMap::new();").is_none());
     }
@@ -284,7 +809,6 @@ mod tests {
         assert!(check_wall_clock("let mut rng = rand::thread_rng();").is_some());
         assert!(check_wall_clock("std::thread::sleep(d);").is_some());
         assert!(check_wall_clock("let now = ctx.now();").is_none());
-        // Identifier boundary: `MySystemTimer` must not match `SystemTime`.
         assert!(check_wall_clock("let x = MySystemTimer::new();").is_none());
     }
 
@@ -293,9 +817,7 @@ mod tests {
         assert!(check_lossy_cast("let wire = seq as u32;").is_some());
         assert!(check_lossy_cast("let b = total_bytes as u32;").is_some());
         assert!(check_lossy_cast("hdr.uid as u16").is_some());
-        // Widening is fine.
         assert!(check_lossy_cast("let s = seq as u64;").is_none());
-        // Narrowing something insensitive is out of scope for this rule.
         assert!(check_lossy_cast("let i = index as u32;").is_none());
     }
 
@@ -304,8 +826,6 @@ mod tests {
         assert!(check_print_macro("println!(\"cwnd = {cwnd}\");").is_some());
         assert!(check_print_macro("eprintln!(\"drop at {t}\");").is_some());
         assert!(check_print_macro("let x = dbg!(cwnd);").is_some());
-        // Only the macro form is banned; identifiers merely containing the
-        // name, or calls without `!`, are fine.
         assert!(check_print_macro("fn println_like() {}").is_none());
         assert!(check_print_macro("self.println(buf);").is_none());
         assert!(check_print_macro("let dbg = 3;").is_none());
@@ -318,10 +838,8 @@ mod tests {
         assert!(check_hot_path_alloc("let acts: Vec<TcpAction> = Vec::new();").is_some());
         assert!(check_hot_path_alloc("let mut q = Vec::with_capacity(64);").is_some());
         assert!(check_hot_path_alloc("let v = vec![0u8; len];").is_some());
-        // Reusing an existing buffer is the sanctioned pattern.
         assert!(check_hot_path_alloc("let mut a = std::mem::take(&mut self.scratch);").is_none());
         assert!(check_hot_path_alloc("self.stage.push(pending);").is_none());
-        // Identifier boundaries: other `new`-family calls don't match.
         assert!(check_hot_path_alloc("let b = Box::new_in(p, arena);").is_none());
         assert!(check_hot_path_alloc("let s = SmallVec::new();").is_none());
         assert!(check_hot_path_alloc("let t = MyBox::newish();").is_none());
@@ -331,10 +849,146 @@ mod tests {
     fn float_time_eq_heuristic() {
         assert!(check_float_time_eq("if a.as_secs_f64() == b.as_secs_f64() {").is_some());
         assert!(check_float_time_eq("if t.as_millis_f64() != 0.0 {").is_some());
-        // Ordering comparisons and arithmetic are allowed.
         assert!(check_float_time_eq("if t.as_secs_f64() >= warmup {").is_none());
         assert!(check_float_time_eq("let x = t.as_secs_f64() * 2.0;").is_none());
-        // Exact SimTime comparison is the sanctioned form.
         assert!(check_float_time_eq("if now == deadline {").is_none());
+    }
+
+    #[test]
+    fn unordered_iter_generics_and_modules() {
+        assert_eq!(
+            findings("fn f<S: BuildHasher>(s: S) {}", RuleId::UnorderedIter).len(),
+            1
+        );
+        assert_eq!(
+            findings("use std::collections::hash_map::Entry;", RuleId::UnorderedIter).len(),
+            1
+        );
+        assert!(findings("fn g<T: Ord>(t: T) {}", RuleId::UnorderedIter).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_tainted_bindings() {
+        let src = "
+            fn f(m: &HashMap<u32, u32>) {
+                for k in m.keys() { use_it(k); }
+            }
+        ";
+        let v = findings(src, RuleId::UnorderedIter);
+        assert!(!v.is_empty(), "{v:?}");
+        // Iterating a BTreeMap binding is fine.
+        let ok = "
+            fn f(m: &BTreeMap<u32, u32>) {
+                for k in m.keys() { use_it(k); }
+            }
+        ";
+        assert!(findings(ok, RuleId::UnorderedIter).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_let_taint() {
+        let src = "
+            fn f() {
+                let scratch = HashMap::new();
+                fill(&scratch);
+                for (k, v) in scratch.iter() {}
+            }
+        ";
+        let v = findings(src, RuleId::UnorderedIter);
+        // The `let` line itself is hash-container territory; the iteration
+        // line is unordered-iter's.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn float_reduction_patterns() {
+        assert_eq!(
+            findings("let s = xs.iter().sum::<f64>();", RuleId::FloatReduction).len(),
+            1
+        );
+        assert_eq!(
+            findings("let p = xs.iter().product::<f32>();", RuleId::FloatReduction).len(),
+            1
+        );
+        assert_eq!(
+            findings(
+                "let s = xs.iter().fold(0.0, |a, b| a + b);",
+                RuleId::FloatReduction
+            )
+            .len(),
+            1
+        );
+        // Integer sums, min/max folds, and explicit loops are fine.
+        assert!(findings("let n = xs.iter().sum::<u64>();", RuleId::FloatReduction).is_empty());
+        assert!(findings(
+            "let m = xs.iter().cloned().fold(f64::INFINITY, f64::min);",
+            RuleId::FloatReduction
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unstable_sort_tiebreak_patterns() {
+        assert_eq!(
+            findings(
+                "v.sort_unstable_by(|a, b| a.t.partial_cmp(&b.t).unwrap());",
+                RuleId::UnstableSortTiebreak
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            findings("v.sort_unstable_by_key(|x| x.weight);", RuleId::UnstableSortTiebreak).len(),
+            1
+        );
+        // Composite tuple keys and `.then*` chains are total.
+        assert!(findings(
+            "v.sort_unstable_by_key(|p| (p.tick, p.seq));",
+            RuleId::UnstableSortTiebreak
+        )
+        .is_empty());
+        assert!(findings(
+            "v.sort_unstable_by(|a, b| a.t.total_cmp(&b.t).then(a.seq.cmp(&b.seq)));",
+            RuleId::UnstableSortTiebreak
+        )
+        .is_empty());
+        // Plain `sort_unstable()` relies on Ord, which is total.
+        assert!(findings("v.sort_unstable();", RuleId::UnstableSortTiebreak).is_empty());
+    }
+
+    #[test]
+    fn shared_mut_state_patterns() {
+        assert_eq!(findings("static mut COUNTER: u64 = 0;", RuleId::SharedMutState).len(), 1);
+        assert_eq!(
+            findings("let m = Mutex::new(state);", RuleId::SharedMutState).len(),
+            1
+        );
+        assert_eq!(
+            findings("x.fetch_add(1, Ordering::Relaxed);", RuleId::SharedMutState).len(),
+            1
+        );
+        assert!(findings("static SEED: u64 = 42;", RuleId::SharedMutState).is_empty());
+        assert!(findings("x.fetch_add(1, Ordering::SeqCst);", RuleId::SharedMutState).is_empty());
+    }
+
+    #[test]
+    fn panic_in_kernel_patterns() {
+        assert_eq!(findings("let x = q.pop().unwrap();", RuleId::PanicInKernel).len(), 1);
+        assert_eq!(
+            findings("let x = q.pop().expect(\"non-empty\");", RuleId::PanicInKernel).len(),
+            1
+        );
+        assert_eq!(findings("panic!(\"bad state\");", RuleId::PanicInKernel).len(), 1);
+        assert_eq!(findings("unreachable!()", RuleId::PanicInKernel).len(), 1);
+        // Non-panicking forms are fine; so are identifiers merely named so.
+        assert!(findings("let x = q.pop().unwrap_or(0);", RuleId::PanicInKernel).is_empty());
+        assert!(findings("let unwrap = 3;", RuleId::PanicInKernel).is_empty());
+        // `.unwrap(x)` with an argument is a different method (the 32-bit
+        // sequence unwrapper), not Option::unwrap.
+        assert!(
+            findings("let ack = self.ack_unwrap.unwrap(hdr.ack);", RuleId::PanicInKernel)
+                .is_empty()
+        );
     }
 }

@@ -1,14 +1,29 @@
-//! Source scanning: comment/string stripping, `#[cfg(test)]` tracking,
-//! waiver handling, and workspace traversal.
+//! Source scanning: token-driven analysis, waiver handling (with the
+//! justification/staleness audit), and workspace traversal.
 //!
-//! The scanner is deliberately line-based — it is a contract enforcer, not a
-//! compiler. It errs on the side of *flagging* (the waiver syntax exists for
-//! the rare sanctioned exception) while stripping comments and string
-//! literal contents so documentation never trips a rule.
+//! The v2 scanner runs in two phases per crate:
+//!
+//! 1. **Lex + structure.** Every file is tokenized once ([`crate::lex`]);
+//!    waiver/marker directives are pulled from the comment stream, and a
+//!    [`crate::graph::CrateGraph`] is built over all the crate's files so
+//!    `// simlint: hot-path` regions propagate one call level deep.
+//! 2. **Match + audit.** Candidate findings come from the legacy line
+//!    matchers (over the blanked `code_lines`) and the token matchers
+//!    ([`crate::rules::check_tokens`]); each is scoped (test regions,
+//!    kernel-only rules, hot regions) and then run through the waiver
+//!    table. Afterwards the waivers themselves are audited: one lacking a
+//!    justification fires `waiver-justification`, one that suppressed
+//!    nothing fires `stale-waiver`.
+//!
+//! The scanner is a contract enforcer, not a compiler: it errs on the side
+//! of *flagging*, and the (audited) waiver syntax exists for the rare
+//! sanctioned exception.
 
 use crate::config::Config;
-use crate::rules::RuleId;
-use std::collections::BTreeSet;
+use crate::graph::CrateGraph;
+use crate::lex::{lex, LexedFile};
+use crate::rules::{check_tokens, RuleId, Severity};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -23,6 +38,8 @@ pub struct Violation {
     pub line: usize,
     /// The rule that fired.
     pub rule: RuleId,
+    /// Effective severity (config override applied).
+    pub severity: Severity,
     /// What was found.
     pub message: String,
     /// The offending source line, trimmed.
@@ -33,10 +50,11 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {} — {}\n    {}",
+            "{}:{}: [{}/{}] {} — {}\n    {}",
             self.file,
             self.line,
             self.rule.name(),
+            self.severity.name(),
             self.message,
             self.rule.explain(),
             self.snippet
@@ -44,227 +62,401 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Per-line output of the preprocessor.
-struct ProcessedLine {
-    /// Code with comments removed and string-literal contents blanked.
-    code: String,
-    /// Concatenated text of comments on this line (for waiver detection).
-    comments: String,
+/// Scope of one waiver directive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaiverKind {
+    /// `allow(rule)` — covers one code line.
+    Line,
+    /// `allow-file(rule)` — covers the whole file.
+    File,
 }
 
-/// Streaming preprocessor state carried across lines.
-#[derive(Default)]
-struct Preprocessor {
-    /// Nesting depth of `/* */` block comments (they nest in Rust).
-    block_comment_depth: usize,
-}
-
-impl Preprocessor {
-    /// Strips comments and string contents from one line.
-    fn process(&mut self, line: &str) -> ProcessedLine {
-        let mut code = String::with_capacity(line.len());
-        let mut comments = String::new();
-        let mut chars = line.chars().peekable();
-        'outer: while let Some(c) = chars.next() {
-            if self.block_comment_depth > 0 {
-                match c {
-                    '*' if chars.peek() == Some(&'/') => {
-                        chars.next();
-                        self.block_comment_depth -= 1;
-                    }
-                    '/' if chars.peek() == Some(&'*') => {
-                        chars.next();
-                        self.block_comment_depth += 1;
-                    }
-                    _ => comments.push(c),
-                }
-                continue;
-            }
-            match c {
-                '/' if chars.peek() == Some(&'/') => {
-                    // Line comment: the rest of the line is comment text.
-                    comments.extend(chars);
-                    break 'outer;
-                }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    self.block_comment_depth += 1;
-                }
-                '"' => {
-                    // String literal: skip contents (escapes included).
-                    code.push('"');
-                    while let Some(s) = chars.next() {
-                        match s {
-                            '\\' => {
-                                chars.next();
-                            }
-                            '"' => {
-                                code.push('"');
-                                continue 'outer;
-                            }
-                            _ => {}
-                        }
-                    }
-                    break 'outer; // unterminated on this line (multi-line string)
-                }
-                '\'' => {
-                    // Either a char literal or a lifetime. A char literal
-                    // closes with `'` within a couple of characters.
-                    let rest: String = chars.clone().take(3).collect();
-                    let is_char_lit = rest.starts_with('\\')
-                        || rest.chars().nth(1) == Some('\'');
-                    if is_char_lit {
-                        // Skip to the closing quote.
-                        let mut escaped = false;
-                        code.push_str("' '"); // placeholder keeps spacing
-                        for s in chars.by_ref() {
-                            match s {
-                                '\\' if !escaped => escaped = true,
-                                '\'' if !escaped => break,
-                                _ => escaped = false,
-                            }
-                        }
-                    } else {
-                        code.push('\''); // lifetime tick
-                    }
-                }
-                _ => code.push(c),
-            }
+impl WaiverKind {
+    /// The kind's name as used in the JSON report and baseline.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaiverKind::Line => "line",
+            WaiverKind::File => "file",
         }
-        ProcessedLine { code, comments }
     }
 }
 
-/// Waivers and markers extracted from one comment.
-#[derive(Default)]
-struct Waivers {
-    line: BTreeSet<RuleId>,
-    file: BTreeSet<RuleId>,
-    /// `simlint: hot-path` — the next braced region is a per-event dispatch
-    /// path; region-scoped rules (hot-path-alloc) apply inside it.
-    hot_path: bool,
+/// One `// simlint: allow(...)` directive, as found in the source.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// File the waiver is in.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// The rule name as written (kept even when unknown, for the audit).
+    pub rule_name: String,
+    /// The parsed rule, if the name is known.
+    pub rule: Option<RuleId>,
+    /// Line- or file-scoped.
+    pub kind: WaiverKind,
+    /// Justification text after the closing `)`, if any.
+    pub justification: Option<String>,
+    /// How many findings this waiver suppressed.
+    pub used: usize,
 }
 
-/// Parses `simlint: allow(rule, ...)` / `simlint: allow-file(rule, ...)` /
+impl Waiver {
+    /// Stable identity for the baseline inventory: `file:line:kind:rule`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.file,
+            self.line,
+            self.kind.name(),
+            self.rule_name
+        )
+    }
+}
+
+/// Complete output of one analysis run: sorted violations plus the waiver
+/// table (with usage counts) for the report and baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Violations, sorted by (file, line, rule name).
+    pub violations: Vec<Violation>,
+    /// Every waiver directive encountered, sorted by (file, line, rule).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Directives parsed from one comment.
+#[derive(Default)]
+struct Directives {
+    /// `simlint: hot-path` — the next braced region is a dispatch path.
+    hot_path: bool,
+    /// `(kind, rule_name, justification)` triples from `allow*` forms.
+    waivers: Vec<(WaiverKind, String, Option<String>)>,
+}
+
+/// Parses `simlint: allow(rule, ...): why` / `simlint: allow-file(...)` /
 /// `simlint: hot-path` from comment text.
-fn parse_waivers(comment: &str) -> Waivers {
-    let mut w = Waivers::default();
+fn parse_directives(comment: &str) -> Directives {
+    let mut d = Directives::default();
     let mut rest = comment;
     while let Some(i) = rest.find("simlint:") {
         let directive = rest[i + "simlint:".len()..].trim_start();
+        rest = &rest[i + "simlint:".len()..];
         if let Some(after) = directive.strip_prefix("hot-path") {
             // Bare region marker (not the `hot-path-alloc` rule name).
             let next = after.chars().next();
             if !next.is_some_and(|c| c.is_alphanumeric() || c == '-' || c == '_') {
-                w.hot_path = true;
-                rest = &rest[i + "simlint:".len()..];
+                d.hot_path = true;
                 continue;
             }
         }
-        let (is_file, args) = if let Some(a) = directive.strip_prefix("allow-file(") {
-            (true, a)
+        let (kind, args) = if let Some(a) = directive.strip_prefix("allow-file(") {
+            (WaiverKind::File, a)
         } else if let Some(a) = directive.strip_prefix("allow(") {
-            (false, a)
+            (WaiverKind::Line, a)
         } else {
-            rest = &rest[i + "simlint:".len()..];
             continue;
         };
-        if let Some(end) = args.find(')') {
-            for name in args[..end].split(',') {
-                if let Some(rule) = RuleId::parse(name.trim()) {
-                    if is_file {
-                        w.file.insert(rule);
-                    } else {
-                        w.line.insert(rule);
+        let Some(end) = args.find(')') else { continue };
+        // Justification: text after the `)` with separator punctuation
+        // stripped. `allow(rule): why` and `allow(rule) — why` both work.
+        let tail = args[end + 1..]
+            .trim_start()
+            .trim_start_matches([':', '-', '—', '–'])
+            .trim();
+        let justification = (!tail.is_empty()).then(|| tail.to_string());
+        for name in args[..end].split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            d.waivers
+                .push((kind, name.to_string(), justification.clone()));
+        }
+    }
+    d
+}
+
+/// Per-file directive extraction product.
+struct FileDirectives {
+    /// 1-based lines bearing a `hot-path` marker.
+    marker_lines: Vec<usize>,
+    /// Raw waivers with their directive line (pre-target-resolution).
+    waivers: Vec<Waiver>,
+}
+
+fn extract_directives(label: &str, lf: &LexedFile) -> FileDirectives {
+    let mut out = FileDirectives {
+        marker_lines: Vec::new(),
+        waivers: Vec::new(),
+    };
+    for c in &lf.comments {
+        let d = parse_directives(&c.text);
+        if d.hot_path {
+            out.marker_lines.push(c.line);
+        }
+        for (kind, rule_name, justification) in d.waivers {
+            let rule = RuleId::parse(&rule_name);
+            out.waivers.push(Waiver {
+                file: label.to_string(),
+                line: c.line,
+                rule,
+                rule_name,
+                kind,
+                justification,
+                used: 0,
+            });
+        }
+    }
+    out
+}
+
+/// True iff `line` (1-based) carries code (after comment/string blanking).
+fn line_has_code(lf: &LexedFile, line: usize) -> bool {
+    lf.code_lines
+        .get(line - 1)
+        .is_some_and(|l| !l.trim().is_empty())
+}
+
+/// The code line a line-waiver at `line` covers: the directive's own line
+/// if it carries code, else the next line with code (comment-only waiver
+/// lines arm the next statement, blank lines pass through).
+fn waiver_target(lf: &LexedFile, line: usize) -> Option<usize> {
+    if line_has_code(lf, line) {
+        return Some(line);
+    }
+    ((line + 1)..=lf.code_lines.len()).find(|&l| line_has_code(lf, l))
+}
+
+/// A candidate finding before waiver filtering.
+struct Candidate {
+    line: usize,
+    rule: RuleId,
+    message: String,
+}
+
+/// Analyzes one crate: `sources[i]` has display label `labels[i]`. All
+/// files are lexed together so `hot-path` propagation can cross files
+/// within the crate.
+fn analyze_crate(labels: &[&str], sources: &[&str], cfg: &Config) -> Analysis {
+    let lexed: Vec<LexedFile> = sources.iter().map(|s| lex(s)).collect();
+    let lexed_refs: Vec<&LexedFile> = lexed.iter().collect();
+    let directives: Vec<FileDirectives> = labels
+        .iter()
+        .zip(&lexed)
+        .map(|(l, lf)| extract_directives(l, lf))
+        .collect();
+    let marker_lines: Vec<Vec<usize>> = directives.iter().map(|d| d.marker_lines.clone()).collect();
+    let graph = CrateGraph::build(&lexed_refs, labels, &marker_lines);
+
+    let mut analysis = Analysis::default();
+    for (fi, (label, lf)) in labels.iter().zip(&lexed).enumerate() {
+        let raw_lines: Vec<&str> = sources[fi].lines().collect();
+        let snippet = |line: usize| {
+            raw_lines
+                .get(line - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default()
+        };
+        let is_kernel = cfg.is_kernel_file(label);
+        let hot_ranges = graph.hot_line_ranges(fi);
+        let test_ranges = graph.test_line_ranges(fi);
+        let in_test = |line: usize| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+        // Direct regions first (via = None), so a line both directly marked
+        // and transitively hot reports without the "called from" suffix.
+        let hot_via = |line: usize| -> Option<Option<&String>> {
+            let mut best: Option<Option<&String>> = None;
+            for (a, b, via) in &hot_ranges {
+                if line >= *a && line <= *b {
+                    match via {
+                        None => return Some(None),
+                        Some(v) => {
+                            if best.is_none() {
+                                best = Some(Some(v));
+                            }
+                        }
                     }
                 }
             }
-        }
-        rest = &rest[i + "simlint:".len()..];
-    }
-    w
-}
+            best
+        };
 
-/// Lints one source file's text. `label` is used as the file name in
-/// reported violations.
-pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
-    let mut pre = Preprocessor::default();
-    let mut violations = Vec::new();
-    let mut file_waivers: BTreeSet<RuleId> = BTreeSet::new();
-    // Waivers from a comment-only line apply to the next line with code.
-    let mut pending_waivers: BTreeSet<RuleId> = BTreeSet::new();
-    // Brace depth, and the depths at which `#[cfg(test)]` regions opened.
-    let mut depth: i64 = 0;
-    let mut test_region_depths: Vec<i64> = Vec::new();
-    let mut cfg_test_pending = false;
-    // Depths at which `// simlint: hot-path` regions opened; region-scoped
-    // rules apply only while this stack is non-empty.
-    let mut hot_region_depths: Vec<i64> = Vec::new();
-    let mut hot_path_pending = false;
-
-    for (idx, raw) in source.lines().enumerate() {
-        let processed = pre.process(raw);
-        let code = processed.code.as_str();
-
-        let waivers = parse_waivers(&processed.comments);
-        file_waivers.extend(waivers.file.iter().copied());
-        hot_path_pending |= waivers.hot_path;
-        let mut line_waivers: BTreeSet<RuleId> = waivers.line;
-        if code.trim().is_empty() {
-            // Comment-only line: its waivers arm the next code line.
-            pending_waivers.extend(line_waivers);
-            continue;
-        }
-        line_waivers.extend(std::mem::take(&mut pending_waivers));
-
-        if code.contains("#[cfg(test)]") {
-            cfg_test_pending = true;
-        }
-        let depth_before = depth;
-        let opens = code.chars().filter(|&c| c == '{').count() as i64;
-        let closes = code.chars().filter(|&c| c == '}').count() as i64;
-        if cfg_test_pending && opens > 0 {
-            test_region_depths.push(depth_before);
-            cfg_test_pending = false;
-        }
-        if hot_path_pending && opens > 0 {
-            hot_region_depths.push(depth_before);
-            hot_path_pending = false;
-        }
-        depth += opens - closes;
-        let in_test = !test_region_depths.is_empty();
-        let in_hot = !hot_region_depths.is_empty();
-
-        for rule in RuleId::ALL {
-            let settings = cfg.rule(rule);
-            if !settings.enabled
-                || (settings.skip_tests && in_test)
-                || (rule.hot_path_only() && !in_hot)
-                || file_waivers.contains(&rule)
-                || line_waivers.contains(&rule)
-            {
+        // Phase A: collect candidates (line matchers + token matchers).
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (idx, code) in lf.code_lines.iter().enumerate() {
+            if code.trim().is_empty() {
                 continue;
             }
-            if let Some(message) = rule.check_line(code) {
-                violations.push(Violation {
-                    file: label.to_string(),
-                    line: idx + 1,
-                    rule,
-                    message,
-                    snippet: raw.trim().to_string(),
+            for rule in RuleId::ALL {
+                if !cfg.rule(rule).enabled {
+                    continue;
+                }
+                if let Some(message) = rule.check_line(code) {
+                    candidates.push(Candidate {
+                        line: idx + 1,
+                        rule,
+                        message,
+                    });
+                }
+            }
+        }
+        for f in check_tokens(lf) {
+            if cfg.rule(f.rule).enabled {
+                candidates.push(Candidate {
+                    line: f.line,
+                    rule: f.rule,
+                    message: f.message,
                 });
             }
         }
 
-        // Leave test/hot regions whose block closed on this line.
-        while test_region_depths.last().is_some_and(|&d| depth <= d) {
-            test_region_depths.pop();
+        // Scope filtering.
+        let mut scoped: Vec<Candidate> = Vec::new();
+        for mut c in candidates {
+            let settings = cfg.rule(c.rule);
+            if settings.skip_tests && in_test(c.line) {
+                continue;
+            }
+            if c.rule.kernel_only() && !is_kernel {
+                continue;
+            }
+            if c.rule.hot_path_only() {
+                match hot_via(c.line) {
+                    None => continue,
+                    Some(Some(via)) => {
+                        c.message.push_str(&format!(" (called from hot path at {via})"));
+                    }
+                    Some(None) => {}
+                }
+            }
+            scoped.push(c);
         }
-        while hot_region_depths.last().is_some_and(|&d| depth <= d) {
-            hot_region_depths.pop();
+
+        // Phase B: apply waivers. Line waivers index by resolved target
+        // line; file waivers cover the whole file.
+        let mut waivers = directives[fi].waivers.clone();
+        let mut by_line: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut file_wide: Vec<usize> = Vec::new();
+        for (wi, w) in waivers.iter().enumerate() {
+            match w.kind {
+                WaiverKind::File => file_wide.push(wi),
+                WaiverKind::Line => {
+                    if let Some(target) = waiver_target(lf, w.line) {
+                        by_line.entry(target).or_default().push(wi);
+                    }
+                }
+            }
         }
+        for c in scoped {
+            let line_hit = by_line
+                .get(&c.line)
+                .and_then(|ws| ws.iter().find(|&&wi| waivers[wi].rule == Some(c.rule)))
+                .copied();
+            let hit = line_hit.or_else(|| {
+                file_wide
+                    .iter()
+                    .find(|&&wi| waivers[wi].rule == Some(c.rule))
+                    .copied()
+            });
+            if let Some(wi) = hit {
+                waivers[wi].used += 1;
+                continue;
+            }
+            analysis.violations.push(Violation {
+                file: label.to_string(),
+                line: c.line,
+                rule: c.rule,
+                severity: cfg.rule(c.rule).severity,
+                message: c.message,
+                snippet: snippet(c.line),
+            });
+        }
+
+        // Phase C: audit the waivers themselves.
+        for w in &waivers {
+            let audit = |rule: RuleId, message: String| Violation {
+                file: label.to_string(),
+                line: w.line,
+                rule,
+                severity: cfg.rule(rule).severity,
+                message,
+                snippet: snippet(w.line),
+            };
+            if cfg.rule(RuleId::WaiverJustification).enabled {
+                match w.rule {
+                    None => {
+                        analysis.violations.push(audit(
+                            RuleId::WaiverJustification,
+                            format!("waiver names unknown rule `{}`", w.rule_name),
+                        ));
+                        continue;
+                    }
+                    Some(r) if r.is_meta() => {
+                        analysis.violations.push(audit(
+                            RuleId::WaiverJustification,
+                            format!("meta rule `{}` cannot be waived", w.rule_name),
+                        ));
+                        continue;
+                    }
+                    Some(_) if w.justification.is_none() => {
+                        analysis.violations.push(audit(
+                            RuleId::WaiverJustification,
+                            format!(
+                                "waiver for `{}` lacks a justification (`… allow({}): why`)",
+                                w.rule_name, w.rule_name
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if cfg.rule(RuleId::StaleWaiver).enabled
+                && w.used == 0
+                && w.rule.is_some_and(|r| cfg.rule(r).enabled)
+            {
+                analysis.violations.push(audit(
+                    RuleId::StaleWaiver,
+                    format!(
+                        "stale waiver: `{}` would not fire here any more",
+                        w.rule_name
+                    ),
+                ));
+            }
+        }
+        analysis.waivers.extend(waivers);
     }
-    violations
+    analysis.sort();
+    analysis
+}
+
+impl Analysis {
+    /// Sorts violations by (file, line, rule name) and waivers by
+    /// (file, line, rule name) — the deterministic report order.
+    fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule.name()).cmp(&(&b.file, b.line, b.rule.name())));
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line, &a.rule_name).cmp(&(&b.file, b.line, &b.rule_name)));
+    }
+
+    /// Violation count per rule, over all 13 rules (zero-filled).
+    pub fn rule_counts(&self) -> BTreeMap<RuleId, usize> {
+        let mut counts: BTreeMap<RuleId, usize> = RuleId::ALL.into_iter().map(|r| (r, 0)).collect();
+        for v in &self.violations {
+            *counts.entry(v.rule).or_default() += 1;
+        }
+        counts
+    }
+}
+
+/// Lints one source file's text (treated as a one-file crate). `label` is
+/// used as the file name in reported violations and decides whether
+/// kernel-only rules apply (see [`Config::is_kernel_file`]).
+pub fn check_source(label: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    analyze_source(label, source, cfg).violations
+}
+
+/// Full analysis (violations + waiver table) of one source file.
+pub fn analyze_source(label: &str, source: &str, cfg: &Config) -> Analysis {
+    analyze_crate(&[label], &[source], cfg)
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for deterministic
@@ -288,12 +480,14 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under the configured scan roots.
+/// Analyzes every `.rs` file under the configured scan roots. Each root is
+/// one crate for call-graph purposes (hot-path propagation does not cross
+/// roots).
 ///
 /// `workspace_root` is the directory containing `simlint.toml`; reported
 /// file names are relative to it.
-pub fn check_workspace(workspace_root: &Path, cfg: &Config) -> io::Result<Vec<Violation>> {
-    let mut files = Vec::new();
+pub fn analyze_workspace(workspace_root: &Path, cfg: &Config) -> io::Result<Analysis> {
+    let mut analysis = Analysis::default();
     for root in &cfg.roots {
         let dir = workspace_root.join(root);
         if !dir.is_dir() {
@@ -302,19 +496,33 @@ pub fn check_workspace(workspace_root: &Path, cfg: &Config) -> io::Result<Vec<Vi
                 format!("scan root `{root}` not found under {}", workspace_root.display()),
             ));
         }
+        let mut files = Vec::new();
         rust_files(&dir, &mut files)?;
+        let mut labels = Vec::new();
+        let mut sources = Vec::new();
+        for path in &files {
+            sources.push(std::fs::read_to_string(path)?);
+            labels.push(
+                path.strip_prefix(workspace_root)
+                    .unwrap_or(path)
+                    .display()
+                    .to_string(),
+            );
+        }
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let source_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let crate_analysis = analyze_crate(&label_refs, &source_refs, cfg);
+        analysis.violations.extend(crate_analysis.violations);
+        analysis.waivers.extend(crate_analysis.waivers);
     }
-    let mut violations = Vec::new();
-    for path in files {
-        let text = std::fs::read_to_string(&path)?;
-        let label = path
-            .strip_prefix(workspace_root)
-            .unwrap_or(&path)
-            .display()
-            .to_string();
-        violations.extend(check_source(&label, &text, cfg));
-    }
-    Ok(violations)
+    analysis.sort();
+    Ok(analysis)
+}
+
+/// Lints every `.rs` file under the configured scan roots (violations
+/// only; see [`analyze_workspace`] for the full product).
+pub fn check_workspace(workspace_root: &Path, cfg: &Config) -> io::Result<Vec<Violation>> {
+    Ok(analyze_workspace(workspace_root, cfg)?.violations)
 }
 
 #[cfg(test)]
@@ -323,6 +531,11 @@ mod tests {
 
     fn lint(src: &str) -> Vec<Violation> {
         check_source("test.rs", src, &Config::default_contract())
+    }
+
+    /// Lint under a kernel-crate label, so kernel-only rules apply.
+    fn lint_kernel(src: &str) -> Vec<Violation> {
+        check_source("crates/simcore/src/x.rs", src, &Config::default_contract())
     }
 
     #[test]
@@ -355,10 +568,29 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_contents_do_not_trip_rules() {
+        // Regression: the line-based scanner treated the `"` after `r#` as
+        // a plain string opener, so everything after the first interior `"`
+        // leaked back into "code" and could both fire false positives and
+        // swallow real code.
+        let src = r####"
+            fn schema() -> &'static str {
+                r#"{"container": "HashMap", "clock": "Instant::now"}"#
+            }
+        "####;
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+        // …and code *after* a raw string on the same line is still linted.
+        let src2 = r####"let s = r#"note: "x" here"#; use std::collections::HashMap;"####;
+        let v = lint(src2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::HashContainer);
+    }
+
+    #[test]
     fn line_waiver_same_line_and_next_line() {
         let src = "
-            use std::collections::HashMap; // simlint: allow(hash-container)
-            // simlint: allow(hash-container)
+            use std::collections::HashMap; // simlint: allow(hash-container): test
+            // simlint: allow(hash-container): test
             let m: HashMap<u32, u32> = HashMap::new();
             let bad: HashMap<u32, u32> = HashMap::new();
         ";
@@ -370,17 +602,20 @@ mod tests {
     #[test]
     fn file_waiver_covers_whole_file() {
         let src = "
-            // simlint: allow-file(lossy-cast)
+            // simlint: allow-file(lossy-cast): wire-format module, test
             fn to_wire(seq: u64) -> u32 { seq as u32 }
             fn also(seq: u64) -> u16 { seq as u16 }
         ";
-        assert!(lint(src).is_empty());
-        // …but only the waived rule.
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+        // …but only the waived rule; an unused file waiver is also stale.
         let src2 = "
-            // simlint: allow-file(lossy-cast)
+            // simlint: allow-file(lossy-cast): test
             use std::collections::HashMap;
         ";
-        assert_eq!(lint(src2).len(), 1);
+        let v = lint(src2);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.rule == RuleId::HashContainer));
+        assert!(v.iter().any(|v| v.rule == RuleId::StaleWaiver));
     }
 
     #[test]
@@ -399,10 +634,7 @@ mod tests {
         assert_eq!(lint(src).len(), 2);
         // With skip_tests, only the code outside the test module fires.
         let mut cfg = Config::default_contract();
-        cfg.rules
-            .get_mut(&RuleId::WallClock)
-            .unwrap()
-            .skip_tests = true;
+        cfg.rules.get_mut(&RuleId::WallClock).unwrap().skip_tests = true;
         let v = check_source("test.rs", src, &cfg);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 8);
@@ -411,10 +643,7 @@ mod tests {
     #[test]
     fn disabled_rule_is_silent() {
         let mut cfg = Config::default_contract();
-        cfg.rules
-            .get_mut(&RuleId::HashContainer)
-            .unwrap()
-            .enabled = false;
+        cfg.rules.get_mut(&RuleId::HashContainer).unwrap().enabled = false;
         let v = check_source("t.rs", "use std::collections::HashMap;", &cfg);
         assert!(v.is_empty());
     }
@@ -425,6 +654,7 @@ mod tests {
         let s = v.to_string();
         assert!(s.contains("test.rs:1"));
         assert!(s.contains("hash-container"));
+        assert!(s.contains("deny"));
         assert!(s.contains("HashSet"));
     }
 
@@ -470,7 +700,7 @@ mod tests {
         let src = "
             // simlint: hot-path — RTO slow path, fires once per timeout
             fn on_rto(&mut self) {
-                let spill = Vec::with_capacity(4); // simlint: allow(hot-path-alloc)
+                let spill = Vec::with_capacity(4); // simlint: allow(hot-path-alloc): RTO is off the per-ACK path
                 self.spill = spill;
             }
         ";
@@ -498,5 +728,151 @@ mod tests {
         // A `'"'` char literal must not open a string that swallows code.
         let src = "let q = '\"'; use std::collections::HashMap;";
         assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn transitive_hot_path_alloc_is_caught() {
+        // The allocation sits in an unmarked helper *called from* a marked
+        // region — the interprocedural pass must flag it and name the call
+        // site.
+        let src = "
+            // simlint: hot-path
+            fn dispatch(&mut self) {
+                self.flush_batch();
+            }
+            fn flush_batch(&mut self) {
+                let staged: Vec<Ev> = Vec::new();
+                self.commit(staged);
+            }
+            fn cold_setup(&mut self) {
+                let v: Vec<Ev> = Vec::new();
+                self.commit(v);
+            }
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::HotPathAlloc);
+        assert_eq!(v[0].line, 7);
+        assert!(
+            v[0].message.contains("called from hot path at test.rs:4"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn waiver_without_justification_is_flagged() {
+        let src = "
+            use std::collections::HashMap; // simlint: allow(hash-container)
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::WaiverJustification);
+        // The waiver still suppresses — justification is a parallel audit,
+        // not a revocation (otherwise one missing word doubles the noise).
+        assert!(v.iter().all(|v| v.rule != RuleId::HashContainer));
+    }
+
+    #[test]
+    fn stale_waiver_is_flagged() {
+        let src = "
+            let x = compute(); // simlint: allow(hash-container): long gone
+        ";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::StaleWaiver);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_flagged() {
+        let src = "let x = 1; // simlint: allow(hash-contanier): typo";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::WaiverJustification);
+        assert!(v[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_waived() {
+        let src = "let x = 1; // simlint: allow(stale-waiver): nope";
+        let v = lint(src);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == RuleId::WaiverJustification
+                    && v.message.contains("cannot be waived")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_only_rules_scope_by_label() {
+        let src = "fn f(q: &mut Q) { let x = q.pop().unwrap(); }";
+        // Non-kernel label: panic-in-kernel does not apply.
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+        // Kernel label: it does.
+        let v = lint_kernel(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::PanicInKernel);
+        assert_eq!(v[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn panic_in_kernel_skips_tests_by_default() {
+        let src = "
+            fn prod(q: &mut Q) -> u32 { q.pop().expect(\"caller checked\") }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn case() { assert_eq!(run().unwrap(), 3); }
+            }
+        ";
+        let v = lint_kernel(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn token_rules_run_through_check_source() {
+        let v = lint("fn f(m: &HashMap<u32, u32>) { for k in m.keys() { use_it(k); } }");
+        assert!(v.iter().any(|v| v.rule == RuleId::UnorderedIter), "{v:?}");
+        let v = lint("fn s(v: &mut Vec<P>) { v.sort_unstable_by_key(|p| p.w); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::UnstableSortTiebreak);
+        let v = lint_kernel("fn m() -> f64 { let xs = [1.0]; xs.iter().sum::<f64>() }");
+        assert!(v.iter().any(|v| v.rule == RuleId::FloatReduction), "{v:?}");
+        let v = lint_kernel("static mut LAST: u64 = 0;");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::SharedMutState);
+    }
+
+    #[test]
+    fn waiver_usage_counts_are_tracked() {
+        let src = "
+            // simlint: allow-file(hash-container): interop shim, test only
+            use std::collections::HashMap;
+            fn f() -> HashMap<u32, u32> { HashMap::new() }
+        ";
+        let a = analyze_source("test.rs", src, &Config::default_contract());
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.waivers.len(), 1);
+        assert!(a.waivers[0].used >= 2, "{:?}", a.waivers);
+        assert_eq!(a.waivers[0].kind, WaiverKind::File);
+        assert_eq!(a.waivers[0].key(), "test.rs:2:file:hash-container");
+    }
+
+    #[test]
+    fn violations_are_sorted_by_file_line_rule() {
+        let src = "
+            fn f(q: &mut Q) {
+                let b = q.pop().unwrap();
+                use_it(std::collections::HashMap::<u32, u32>::new());
+            }
+        ";
+        let v = lint_kernel(src);
+        let keys: Vec<(usize, &str)> = v.iter().map(|v| (v.line, v.rule.name())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "{v:?}");
     }
 }

@@ -1,0 +1,4 @@
+//! Seeded violation (kernel-only): an order-sensitive float reduction.
+pub fn total_delay(samples: &[f64]) -> f64 {
+    samples.iter().copied().sum::<f64>()
+}

@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn total_delay(samples: &[f64]) -> f64 {
+    samples.iter().copied().sum::<f64>() // simlint: allow(float-reduction): fixture — demonstrates waiver silencing
+}

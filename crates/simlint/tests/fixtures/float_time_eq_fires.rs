@@ -1,0 +1,4 @@
+//! Seeded violation: float equality on a SimTime projection.
+pub fn same_instant(a: SimTime, b: SimTime) -> bool {
+    a.as_secs_f64() == b.as_secs_f64()
+}

@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn same_instant(a: SimTime, b: SimTime) -> bool {
+    a.as_secs_f64() == b.as_secs_f64() // simlint: allow(float-time-eq): fixture — demonstrates waiver silencing
+}

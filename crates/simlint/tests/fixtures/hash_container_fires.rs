@@ -1,0 +1,5 @@
+//! Seeded violation: a hash-ordered container in simulation code.
+pub fn flow_table() {
+    let table: std::collections::HashMap<u32, u64> = Default::default();
+    drop(table);
+}

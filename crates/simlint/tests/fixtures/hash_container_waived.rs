@@ -1,0 +1,5 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn flow_table() {
+    let table: std::collections::HashMap<u32, u64> = Default::default(); // simlint: allow(hash-container): fixture — demonstrates waiver silencing
+    drop(table);
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a fresh allocation directly inside a marked region.
+// simlint: hot-path — fixture dispatch loop
+pub fn dispatch(events: &mut [u32]) {
+    let scratch: Vec<u32> = Vec::new();
+    drop(scratch);
+    drop(events);
+}

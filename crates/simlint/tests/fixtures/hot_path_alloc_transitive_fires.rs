@@ -1,0 +1,11 @@
+//! Seeded violation: the allocation hides in a helper *called from* a
+//! marked region — the interprocedural pass must still catch it.
+// simlint: hot-path — fixture dispatch loop
+pub fn dispatch(&mut self) {
+    self.emit();
+}
+
+fn emit(&mut self) {
+    let out: Vec<u32> = Vec::new();
+    drop(out);
+}

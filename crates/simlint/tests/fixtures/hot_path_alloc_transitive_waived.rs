@@ -1,0 +1,10 @@
+//! The same seeded violation, released by a justified line waiver.
+// simlint: hot-path — fixture dispatch loop
+pub fn dispatch(&mut self) {
+    self.emit();
+}
+
+fn emit(&mut self) {
+    let out: Vec<u32> = Vec::new(); // simlint: allow(hot-path-alloc): fixture — demonstrates waiver silencing
+    drop(out);
+}

@@ -1,0 +1,7 @@
+//! The same seeded violation, released by a justified line waiver.
+// simlint: hot-path — fixture dispatch loop
+pub fn dispatch(events: &mut [u32]) {
+    let scratch: Vec<u32> = Vec::new(); // simlint: allow(hot-path-alloc): fixture — demonstrates waiver silencing
+    drop(scratch);
+    drop(events);
+}

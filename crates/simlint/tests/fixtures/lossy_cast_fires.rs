@@ -1,0 +1,4 @@
+//! Seeded violation: a narrowing cast on a sequence-number quantity.
+pub fn wire_seq(seq_no: u64) -> u32 {
+    seq_no as u32
+}

@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn wire_seq(seq_no: u64) -> u32 {
+    seq_no as u32 // simlint: allow(lossy-cast): fixture — demonstrates waiver silencing
+}

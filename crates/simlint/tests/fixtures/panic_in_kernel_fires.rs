@@ -1,0 +1,4 @@
+//! Seeded violation (kernel-only): an unwrap outside test code.
+pub fn head(q: &[u32]) -> u32 {
+    *q.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn head(q: &[u32]) -> u32 {
+    *q.first().unwrap() // simlint: allow(panic-in-kernel): fixture — demonstrates waiver silencing
+}

@@ -1,0 +1,4 @@
+//! Seeded violation: ad-hoc stdout in simulation code.
+pub fn debug_dump(count: u64) {
+    println!("delivered {count} packets");
+}

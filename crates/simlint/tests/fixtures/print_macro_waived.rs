@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn debug_dump(count: u64) {
+    println!("delivered {count} packets"); // simlint: allow(print-macro): fixture — demonstrates waiver silencing
+}

@@ -1,0 +1,4 @@
+//! Seeded violation (kernel-only): a lock in the single-threaded kernel.
+pub struct Cell {
+    lock: std::sync::Mutex<u64>,
+}

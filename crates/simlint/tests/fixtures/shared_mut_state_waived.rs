@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub struct Cell {
+    lock: std::sync::Mutex<u64>, // simlint: allow(shared-mut-state): fixture — demonstrates waiver silencing
+}

@@ -1,0 +1,5 @@
+//! Seeded meta violation: a justified waiver whose rule no longer fires.
+pub fn quiet() {
+    let x = 1; // simlint: allow(hash-container): fixture — nothing left to suppress
+    drop(x);
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: observable iteration over a hash-ordered container.
+//! (The container type itself is separately waived so exactly one rule —
+//! unordered-iter — fires.)
+pub fn drain_all(table: &std::collections::HashMap<u32, u64>) -> u64 { // simlint: allow(hash-container): fixture — taint source for the unordered-iter seed
+    let mut total = 0;
+    for v in table.values() {
+        total += *v;
+    }
+    total
+}

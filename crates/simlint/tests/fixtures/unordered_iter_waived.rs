@@ -1,0 +1,8 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn drain_all(table: &std::collections::HashMap<u32, u64>) -> u64 { // simlint: allow(hash-container): fixture — taint source for the unordered-iter seed
+    let mut total = 0;
+    for v in table.values() { // simlint: allow(unordered-iter): fixture — demonstrates waiver silencing
+        total += *v;
+    }
+    total
+}

@@ -1,0 +1,4 @@
+//! Seeded violation: an unstable sort whose comparator is not total.
+pub fn order(pkts: &mut Vec<(u64, u32)>) {
+    pkts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+}

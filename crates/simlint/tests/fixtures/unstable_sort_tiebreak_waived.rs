@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn order(pkts: &mut Vec<(u64, u32)>) {
+    pkts.sort_unstable_by(|a, b| a.0.cmp(&b.0)); // simlint: allow(unstable-sort-tiebreak): fixture — demonstrates waiver silencing
+}

@@ -1,0 +1,7 @@
+//! Seeded meta violation: a waiver with no justification. The waiver still
+//! suppresses its rule (the audit is parallel, not a revocation), so the
+//! only finding is waiver-justification itself.
+pub fn flow_table() {
+    let table: std::collections::HashMap<u32, u64> = Default::default(); // simlint: allow(hash-container)
+    drop(table);
+}

@@ -1,0 +1,4 @@
+//! Seeded violation: wall-clock time inside simulation code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

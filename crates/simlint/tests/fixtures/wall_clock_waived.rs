@@ -1,0 +1,4 @@
+//! The same seeded violation, released by a justified line waiver.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // simlint: allow(wall-clock): fixture — demonstrates waiver silencing
+}

@@ -336,6 +336,7 @@ impl SackSender {
 
     /// Vec-returning wrappers over the `*_into` methods (tests/diagnostics).
     pub fn start(&mut self, now: SimTime) -> Vec<TcpAction> {
+        // simlint: allow(hot-path-alloc): Vec-returning test/diagnostic wrapper sharing a name with the hot trait method; dispatch uses start_into with reused scratch
         let mut out = Vec::new();
         self.start_into(now, &mut out);
         out
@@ -343,6 +344,7 @@ impl SackSender {
 
     /// See [`SackSender::on_ack_into`].
     pub fn on_ack(&mut self, now: SimTime, info: &AckInfo) -> Vec<TcpAction> {
+        // simlint: allow(hot-path-alloc): Vec-returning test/diagnostic wrapper sharing a name with the hot trait method; dispatch uses on_ack_into with reused scratch
         let mut out = Vec::new();
         self.on_ack_into(now, info, &mut out);
         out
@@ -350,6 +352,7 @@ impl SackSender {
 
     /// See [`SackSender::on_rto_into`].
     pub fn on_rto(&mut self, now: SimTime, gen: u64) -> Vec<TcpAction> {
+        // simlint: allow(hot-path-alloc): Vec-returning test/diagnostic wrapper sharing a name with the hot trait method; dispatch uses on_rto_into with reused scratch
         let mut out = Vec::new();
         self.on_rto_into(now, gen, &mut out);
         out

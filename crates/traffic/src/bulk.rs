@@ -36,6 +36,7 @@ impl CcKind {
             CcKind::Reno => Box::new(Reno),
             CcKind::NewReno => Box::new(NewReno),
             CcKind::Cubic => Box::new(Cubic::new(0.005)),
+            // simlint: allow(panic-in-kernel): documented constructor-misuse guard at setup time; unreachable from the event path
             CcKind::Sack => panic!("SACK is a sender machine; use make_machine"),
         }
     }

@@ -44,6 +44,7 @@ impl FlowLengthDist {
                     }
                     x -= p;
                 }
+                // simlint: allow(panic-in-kernel): Choice distributions are constructed with non-empty literal lists at scenario setup
                 choices.last().expect("non-empty choices").0.max(1)
             }
             FlowLengthDist::Pareto { mean, shape } => {
@@ -62,7 +63,7 @@ impl FlowLengthDist {
                 choices
                     .iter()
                     .map(|&(len, p)| len as f64 * p)
-                    .sum::<f64>()
+                    .sum::<f64>() // simlint: allow(float-reduction): setup-time scalar over the fixed config list, never on the event path
                     / total
             }
             FlowLengthDist::Pareto { mean, .. } => *mean,

@@ -22,8 +22,19 @@ cargo test -q --release --test parallel_determinism
 echo "==> RESULTS.md drift gate (report --check)"
 cargo run -q --release -p bench --bin report -- --check
 
-echo "==> cargo run -p simlint (determinism contract, incl. crates/core)"
-cargo run -q --release -p simlint
+echo "==> simlint ratchet (determinism contract vs committed baseline)"
+# Fails when any rule's violation count rises above the committed
+# baseline, a waiver goes stale, or an unsanctioned waiver appears.
+# Improvements are banked with `cargo run -p simlint -- --write-baseline`.
+cargo run -q --release -p simlint -- --ratchet artifacts/simlint_baseline.json
+
+echo "==> simlint report drift gate (artifacts/simlint.json byte-stable)"
+# The ratchet run above rewrites artifacts/simlint.json; if that changed
+# the committed copy, the tree and its artifacts are out of sync.
+git diff --exit-code -- artifacts/simlint.json artifacts/simlint_baseline.json || {
+    echo "artifacts/simlint*.json drifted from the tree; commit the regenerated files" >&2
+    exit 1
+}
 
 echo "==> quick bench arm (cell grid; BENCH_sweep.json staleness gate)"
 # Re-runs the bench_sweep cell grid (no --repro) to a scratch path. The

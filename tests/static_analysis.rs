@@ -41,10 +41,60 @@ fn contract_coverage_is_complete() {
             "simlint.toml no longer scans {root_dir}"
         );
     }
+    for root_dir in [
+        "crates/simcore",
+        "crates/netsim",
+        "crates/tcpsim",
+        "crates/traffic",
+    ] {
+        assert!(
+            cfg.kernel_roots.iter().any(|r| r == root_dir),
+            "simlint.toml no longer treats {root_dir} as kernel"
+        );
+    }
     for rule in simlint::RuleId::ALL {
         assert!(cfg.rule(rule).enabled, "rule {} disabled", rule.name());
-        assert!(!cfg.rule(rule).skip_tests, "rule {} skips tests", rule.name());
+        assert_eq!(
+            cfg.rule(rule).skip_tests,
+            rule.default_skip_tests(),
+            "rule {} diverges from its default test-scoping (only \
+             panic-in-kernel and float-reduction may skip tests)",
+            rule.name()
+        );
+        assert_eq!(
+            cfg.rule(rule).severity,
+            rule.default_severity(),
+            "rule {} severity overridden in simlint.toml",
+            rule.name()
+        );
     }
+}
+
+/// The rule inventory itself is part of the contract: a PR cannot remove a
+/// rule (or quietly demote a deny rule to warn) without this pin failing.
+#[test]
+fn rule_inventory_is_pinned() {
+    use simlint::Severity;
+    let expected: [(&str, Severity); 13] = [
+        ("hash-container", Severity::Deny),
+        ("wall-clock", Severity::Deny),
+        ("lossy-cast", Severity::Deny),
+        ("float-time-eq", Severity::Deny),
+        ("print-macro", Severity::Deny),
+        ("hot-path-alloc", Severity::Deny),
+        ("unordered-iter", Severity::Deny),
+        ("float-reduction", Severity::Warn),
+        ("unstable-sort-tiebreak", Severity::Deny),
+        ("shared-mut-state", Severity::Deny),
+        ("panic-in-kernel", Severity::Warn),
+        ("waiver-justification", Severity::Deny),
+        ("stale-waiver", Severity::Deny),
+    ];
+    let got: Vec<(&str, Severity)> = simlint::RuleId::ALL
+        .iter()
+        .map(|r| (r.name(), r.default_severity()))
+        .collect();
+    assert_eq!(got, expected, "the determinism-contract rule set changed");
 }
 
 /// The `hot-path-alloc` rule is region-scoped: it only applies inside
@@ -98,7 +148,7 @@ fn hot_path_alloc_rule_catches_seeded_violation() {
     let waived = "
         // simlint: hot-path
         fn dispatch(&mut self) {
-            let v: Vec<Action> = Vec::new(); // simlint: allow(hot-path-alloc)
+            let v: Vec<Action> = Vec::new(); // simlint: allow(hot-path-alloc): seeded test waiver
             self.apply(v);
         }
     ";
@@ -170,5 +220,170 @@ fn executor_waiver_is_module_scoped() {
          line ({}) so it covers the whole module",
         waiver_line + 1,
         first_code_line + 1
+    );
+}
+
+/// Every waiver in the workspace is sanctioned: pinned here by
+/// (file, scope, rule). Adding a waiver anywhere requires updating this
+/// list *and* regenerating the baseline — two deliberate acts, reviewed
+/// together with the justification text the waiver must carry.
+#[test]
+fn sanctioned_waiver_inventory_is_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
+    let analysis = simlint::analyze_workspace(root, &cfg).expect("scan succeeds");
+
+    let mut got: Vec<(String, String, String)> = analysis
+        .waivers
+        .iter()
+        .map(|w| {
+            (
+                w.file.clone(),
+                w.kind.name().to_string(),
+                w.rule_name.clone(),
+            )
+        })
+        .collect();
+    got.sort();
+    let expected: Vec<(String, String, String)> = [
+        ("crates/core/src/exec.rs", "file", "wall-clock"),
+        ("crates/netsim/src/drr.rs", "line", "panic-in-kernel"),
+        ("crates/netsim/src/drr.rs", "line", "panic-in-kernel"),
+        ("crates/netsim/src/drr.rs", "line", "panic-in-kernel"),
+        ("crates/netsim/src/drr.rs", "line", "panic-in-kernel"),
+        ("crates/netsim/src/sim.rs", "line", "panic-in-kernel"),
+        ("crates/simcore/src/event.rs", "line", "panic-in-kernel"),
+        ("crates/simcore/src/time.rs", "file", "panic-in-kernel"),
+        ("crates/simcore/src/wheel.rs", "line", "panic-in-kernel"),
+        ("crates/simcore/src/wheel.rs", "line", "panic-in-kernel"),
+        ("crates/tcpsim/src/receiver.rs", "line", "panic-in-kernel"),
+        ("crates/tcpsim/src/sack.rs", "line", "hot-path-alloc"),
+        ("crates/tcpsim/src/sack.rs", "line", "hot-path-alloc"),
+        ("crates/tcpsim/src/sack.rs", "line", "hot-path-alloc"),
+        ("crates/tcpsim/src/seq.rs", "file", "lossy-cast"),
+        ("crates/traffic/src/bulk.rs", "line", "panic-in-kernel"),
+        ("crates/traffic/src/shortflow.rs", "line", "float-reduction"),
+        ("crates/traffic/src/shortflow.rs", "line", "panic-in-kernel"),
+    ]
+    .iter()
+    .map(|(f, k, r)| (f.to_string(), k.to_string(), r.to_string()))
+    .collect();
+    assert_eq!(
+        got, expected,
+        "the waiver inventory changed; update this pin and regenerate the \
+         baseline (`cargo run -p simlint -- --write-baseline`) deliberately"
+    );
+
+    for w in &analysis.waivers {
+        assert!(
+            w.justification.is_some(),
+            "{} waiver at {}:{} lacks a justification",
+            w.rule_name,
+            w.file,
+            w.line
+        );
+        assert!(
+            w.used > 0,
+            "{} waiver at {}:{} is stale (suppresses nothing)",
+            w.rule_name,
+            w.file,
+            w.line
+        );
+    }
+}
+
+/// The committed JSON artifacts are current and byte-stable: re-analyzing
+/// the tree and re-rendering must reproduce `artifacts/simlint.json` and
+/// `artifacts/simlint_baseline.json` byte for byte.
+#[test]
+fn committed_simlint_artifacts_are_current_and_byte_stable() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
+
+    let a1 = simlint::analyze_workspace(root, &cfg).expect("scan succeeds");
+    let a2 = simlint::analyze_workspace(root, &cfg).expect("scan succeeds");
+    assert_eq!(
+        simlint::render_report(&a1),
+        simlint::render_report(&a2),
+        "report rendering is not deterministic"
+    );
+
+    let committed_report = std::fs::read_to_string(root.join("artifacts/simlint.json"))
+        .expect("artifacts/simlint.json committed");
+    assert_eq!(
+        committed_report,
+        simlint::render_report(&a1),
+        "artifacts/simlint.json is out of date; run `cargo run -p simlint -- --format json`"
+    );
+
+    let committed_baseline = std::fs::read_to_string(root.join("artifacts/simlint_baseline.json"))
+        .expect("artifacts/simlint_baseline.json committed");
+    assert_eq!(
+        committed_baseline,
+        simlint::render_baseline(&simlint::Baseline::capture(&a1)),
+        "baseline is out of date; run `cargo run -p simlint -- --write-baseline`"
+    );
+}
+
+/// The ratchet gate actually gates: injecting a new violation, a stale
+/// waiver, or an unsanctioned waiver into an otherwise clean analysis must
+/// each produce a ratchet failure against the committed baseline.
+#[test]
+fn ratchet_gate_catches_injected_regressions() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("simlint.toml")).expect("simlint.toml parses");
+    let baseline = simlint::parse_baseline(
+        &std::fs::read_to_string(root.join("artifacts/simlint_baseline.json"))
+            .expect("baseline committed"),
+    )
+    .expect("baseline parses");
+
+    let clean = simlint::analyze_workspace(root, &cfg).expect("scan succeeds");
+    assert!(
+        simlint::ratchet(&clean, &baseline).is_empty(),
+        "the tree must pass its own ratchet"
+    );
+
+    let inject = |rule: simlint::RuleId| simlint::Violation {
+        file: "crates/simcore/src/injected.rs".to_string(),
+        line: 1,
+        rule,
+        severity: rule.default_severity(),
+        message: "injected regression".to_string(),
+        snippet: String::new(),
+    };
+
+    // A fresh violation pushes a rule count above its baseline.
+    let mut worse = clean.clone();
+    worse.violations.push(inject(simlint::RuleId::HashContainer));
+    assert!(
+        !simlint::ratchet(&worse, &baseline).is_empty(),
+        "an added violation must fail the ratchet"
+    );
+
+    // A waiver going stale surfaces as a stale-waiver violation — also a
+    // count regression (the baseline has zero).
+    let mut stale = clean.clone();
+    stale.violations.push(inject(simlint::RuleId::StaleWaiver));
+    assert!(
+        !simlint::ratchet(&stale, &baseline).is_empty(),
+        "a stale waiver must fail the ratchet"
+    );
+
+    // A waiver absent from the baseline inventory fails even with no
+    // violation: waivers are sanctioned by regenerating the baseline.
+    let mut widened = clean.clone();
+    widened.waivers.push(simlint::Waiver {
+        file: "crates/simcore/src/injected.rs".to_string(),
+        line: 1,
+        rule_name: "hash-container".to_string(),
+        rule: Some(simlint::RuleId::HashContainer),
+        kind: simlint::WaiverKind::Line,
+        justification: Some("injected".to_string()),
+        used: 1,
+    });
+    assert!(
+        !simlint::ratchet(&widened, &baseline).is_empty(),
+        "an unsanctioned waiver must fail the ratchet"
     );
 }
