@@ -7,10 +7,12 @@
 //! machine-readable JSON report (default `artifacts/BENCH_sweep.json`,
 //! override with `--out <path>`) so future performance work has a
 //! committed trajectory to compare against.
-use bench::harness::{sweep_json_with_events, EventRates, SweepSection};
+use bench::harness::{sweep_json_report, EventRates, StateMarks, SweepSection};
+use buffersizing::{min_buffer_for, probe_cache};
 use buffersizing::prelude::*;
 use simcore::{Profile, SchedulerKind};
 use std::process::{Command, Stdio};
+use std::time::Instant;
 
 /// Folds the per-cell profiles into the fleet aggregate, in input order.
 fn merge_profiles(results: &[LongFlowResult]) -> Profile {
@@ -122,30 +124,74 @@ fn main() {
     }
 
     // Event-dispatch throughput: per-class dispatch counts from the merged
-    // profile over the profiled sequential sweep's wall time, tagged with
-    // the scheduler that produced them (the cells run on the default).
-    let prof_wall = sections
+    // profile (identical on both arms by the pure-observer contract) over
+    // the *unprofiled* sequential sweep's wall time, so the recorded rate
+    // is what the production fast path actually delivers. The profiled
+    // arm's own wall time stays recorded above, where the <= 5% overhead
+    // contract is checked against it.
+    let base_wall = sections
         .iter()
-        .find(|s| s.name == "long_flow_cells_profiled")
+        .find(|s| s.name == "long_flow_cells")
         .and_then(|s| s.samples.iter().find(|x| x.jobs == 1))
         .map(|x| x.wall_s)
-        .expect("profiled section has a jobs=1 sample");
+        .expect("unprofiled section has a jobs=1 sample");
     let events = EventRates {
         scheduler: SchedulerKind::default().name().to_string(),
-        wall_s: prof_wall,
+        wall_s: base_wall,
         classes: prof_reference
             .counts()
             .map(|(label, n)| (label.to_string(), n))
             .collect(),
     };
     println!(
-        "events: {} dispatches at {:.2} M events/s ({} scheduler)\n",
+        "events: {} dispatches at {:.2} M events/s ({} scheduler, unprofiled arm)\n",
         events.total(),
-        events.total() as f64 / prof_wall.max(1e-12) / 1e6,
+        events.total() as f64 / base_wall.max(1e-12) / 1e6,
         events.scheduler
     );
 
-    let json = sweep_json_with_events(cores, &sections, Some(&events));
+    // Probe-cache behaviour: one bisection run cold (every probe
+    // simulates) and once more warm (every probe replays from the cache).
+    // The bisection is deterministic, so the hit/miss counts are part of
+    // the stable baseline; the wall times document the cache's effect.
+    probe_cache::reset();
+    let bisect = || {
+        let mut sc = LongFlowScenario::quick(6, 10_000_000);
+        sc.warmup = SimDuration::from_secs(3);
+        sc.measure = SimDuration::from_secs(6);
+        min_buffer_for(
+            40,
+            |b| {
+                let mut s = sc.clone();
+                s.buffer_pkts = b;
+                probe_cache::run_cached(&s).utilization
+            },
+            |u| u >= 0.95,
+        )
+    };
+    let t0 = Instant::now();
+    let cold = bisect();
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = bisect();
+    let warm_wall = t1.elapsed().as_secs_f64();
+    assert_eq!(cold.evaluations, warm.evaluations, "cache changed a probe");
+    let (hits, misses) = probe_cache::stats();
+    let (arena_hwm, flow_hwm) = prof_reference.state_high_water();
+    let state = StateMarks {
+        arena_high_water: arena_hwm,
+        flow_table_high_water: flow_hwm,
+        probe_cache_hits: hits,
+        probe_cache_misses: misses,
+        probe_cold_wall_s: cold_wall,
+        probe_warm_wall_s: warm_wall,
+    };
+    println!(
+        "probe cache: {misses} misses cold ({cold_wall:.3} s), {hits} hits warm ({warm_wall:.3} s)"
+    );
+    println!("state: arena high-water {arena_hwm}, flow-table high-water {flow_hwm}\n");
+
+    let json = sweep_json_report(cores, &sections, Some(&events), Some(&state));
     let path = out_flag();
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).expect("creating output dir");

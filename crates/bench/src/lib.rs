@@ -231,6 +231,27 @@ pub mod harness {
         }
     }
 
+    /// Deterministic state marks and probe-cache counters for
+    /// `BENCH_sweep.json`: how big the run's packet arena and flow table
+    /// got, and how the result cache behaved over a cold/warm probe pair.
+    /// Everything here is a pure function of the benchmark's fixed grid, so
+    /// (unlike wall times) these survive machine changes byte-identically.
+    #[derive(Clone, Copy, Debug)]
+    pub struct StateMarks {
+        /// Packet-arena slots ever allocated (max over the profiled cells).
+        pub arena_high_water: u64,
+        /// Flow-table sender slots allocated (max over the profiled cells).
+        pub flow_table_high_water: u64,
+        /// Probe-cache hits over the cold+warm bisection pair.
+        pub probe_cache_hits: u64,
+        /// Probe-cache misses over the cold+warm bisection pair.
+        pub probe_cache_misses: u64,
+        /// Wall time of the cold (all-miss) bisection, seconds.
+        pub probe_cold_wall_s: f64,
+        /// Wall time of the warm (all-hit) bisection, seconds.
+        pub probe_warm_wall_s: f64,
+    }
+
     /// Renders the `BENCH_sweep.json` document: machine context plus one
     /// entry per sweep section. Hand-rolled JSON — no serde in the tree.
     pub fn sweep_json(cores: usize, sections: &[SweepSection]) -> String {
@@ -244,6 +265,17 @@ pub mod harness {
         cores: usize,
         sections: &[SweepSection],
         events: Option<&EventRates>,
+    ) -> String {
+        sweep_json_report(cores, sections, events, None)
+    }
+
+    /// [`sweep_json_with_events`] plus an optional `state` block with the
+    /// arena/flow-table high-water marks and probe-cache counters.
+    pub fn sweep_json_report(
+        cores: usize,
+        sections: &[SweepSection],
+        events: Option<&EventRates>,
+        state: Option<&StateMarks>,
     ) -> String {
         let mut out = sweep_json_sections(cores, sections);
         if let Some(ev) = events {
@@ -267,6 +299,29 @@ pub mod harness {
                 ));
             }
             out.push_str("    ]\n  }");
+        }
+        if let Some(st) = state {
+            out.push_str(",\n  \"state\": {\n");
+            out.push_str(&format!(
+                "    \"arena_high_water\": {},\n",
+                st.arena_high_water
+            ));
+            out.push_str(&format!(
+                "    \"flow_table_high_water\": {},\n",
+                st.flow_table_high_water
+            ));
+            out.push_str("    \"probe_cache\": {\n");
+            out.push_str(&format!("      \"hits\": {},\n", st.probe_cache_hits));
+            out.push_str(&format!("      \"misses\": {},\n", st.probe_cache_misses));
+            out.push_str(&format!(
+                "      \"cold_wall_s\": {:.4},\n",
+                st.probe_cold_wall_s
+            ));
+            out.push_str(&format!(
+                "      \"warm_wall_s\": {:.4}\n",
+                st.probe_warm_wall_s
+            ));
+            out.push_str("    }\n  }");
         }
         out.push_str("\n}\n");
         out
@@ -351,6 +406,34 @@ pub mod harness {
                 json.matches('[').count(),
                 json.matches(']').count()
             );
+        }
+
+        #[test]
+        fn state_block_renders_and_stays_balanced() {
+            let s = super::SweepSection {
+                name: "demo".into(),
+                cells: 1,
+                samples: vec![super::SweepSample {
+                    jobs: 1,
+                    wall_s: 1.0,
+                    cells_per_s: 1.0,
+                }],
+            };
+            let st = super::StateMarks {
+                arena_high_water: 321,
+                flow_table_high_water: 8,
+                probe_cache_hits: 9,
+                probe_cache_misses: 9,
+                probe_cold_wall_s: 0.5,
+                probe_warm_wall_s: 0.001,
+            };
+            let json = super::sweep_json_report(1, &[s], None, Some(&st));
+            assert!(json.contains("\"arena_high_water\": 321"));
+            assert!(json.contains("\"flow_table_high_water\": 8"));
+            assert!(json.contains("\"hits\": 9"));
+            assert!(json.contains("\"warm_wall_s\": 0.0010"));
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
         }
 
         #[test]

@@ -92,7 +92,9 @@ impl GsrTableConfig {
             let buffer = (m * bdp / (n as f64).sqrt()).round().max(1.0) as usize;
             let mut clean = scenario.clone();
             clean.buffer_pkts = buffer;
-            let sim = clean.run().utilization;
+            // Cached probe: the clean arm is an ordinary long-flow run, so
+            // it shares results with any sweep that probed the same point.
+            let sim = crate::probe_cache::run_cached(&clean).utilization;
 
             // Testbed proxy: heterogeneous access rates (2.5x–20x the
             // bottleneck), 1 ms send jitter, SACK hosts, different seed.

@@ -83,13 +83,17 @@ impl MinBufferConfig {
             scenario.n_flows = n;
             let bdp = scenario.bdp_packets();
             let hi = bdp.ceil() as usize + 1;
+            // Probes route through the process-global result cache: the
+            // per-target bisections for one n revisit overlapping buffer
+            // sizes, and each repeat would otherwise be a full simulation
+            // (see `crate::probe_cache`).
             let search = min_buffer_for_par(
                 hi,
                 &inner,
                 |b| {
                     let mut s = scenario.clone();
                     s.buffer_pkts = b;
-                    s.run().utilization
+                    crate::probe_cache::run_cached(&s).utilization
                 },
                 |u| u >= target,
             );

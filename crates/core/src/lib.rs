@@ -37,6 +37,7 @@ pub mod explain;
 pub mod figures;
 pub mod json;
 pub mod manifest;
+pub mod probe_cache;
 pub mod report;
 pub mod runner;
 pub mod search;

@@ -17,7 +17,7 @@ use netsim::{
 };
 use simcore::{Profile, Rng, SchedulerKind, SimDuration, SimTime};
 use stats::FctCollector;
-use tcpsim::{SpanLog, TcpConfig, TcpSink, TcpSource};
+use tcpsim::{SharedFlowTable, SpanLog, TcpConfig, TcpSink, TcpSource};
 use traffic::bulk::CcKind;
 use traffic::{
     arrival_rate_for_load, BulkWorkload, FlowHandle, FlowLengthDist, ShortFlowWorkload,
@@ -169,7 +169,7 @@ impl LongFlowScenario {
             .collect()
     }
 
-    fn build(&self) -> (Sim, netsim::Dumbbell, Vec<FlowHandle>) {
+    fn build(&self) -> (Sim, netsim::Dumbbell, Vec<FlowHandle>, SharedFlowTable) {
         let mut sim = Sim::with_scheduler(self.seed, self.scheduler);
         // Steady state holds roughly one window of events per flow (data +
         // ACK per in-flight segment, timers, deferred injections) plus the
@@ -213,8 +213,13 @@ impl LongFlowScenario {
             span_capacity: self.span_capacity,
             ..Default::default()
         };
-        let handles = wl.install(&mut sim, &dumbbell, 0, &mut rng);
-        (sim, dumbbell, handles)
+        // One shared flow table for every sender: hot per-ACK state lives in
+        // dense arrays (see `tcpsim::table`), and its final length is the
+        // flow high-water mark the profiler reports.
+        let table = SharedFlowTable::new();
+        table.reserve(self.n_flows);
+        let handles = wl.install_in(&mut sim, &dumbbell, 0, &mut rng, &table);
+        (sim, dumbbell, handles, table)
     }
 
     /// Runs the scenario without window sampling.
@@ -226,7 +231,7 @@ impl LongFlowScenario {
     /// `period` during the measurement phase (needed for Figure 6 and the
     /// synchronization metric).
     pub fn run_sampled(&self, sample_period: Option<SimDuration>) -> LongFlowResult {
-        let (mut sim, dumbbell, handles) = self.build();
+        let (mut sim, dumbbell, handles, table) = self.build();
         sim.start();
         sim.run_until(SimTime::ZERO + self.warmup);
         let mark = sim.now();
@@ -267,7 +272,7 @@ impl LongFlowScenario {
             None => sim.run_until(end),
         }
 
-        self.collect_result(&sim, &dumbbell, &handles, window_sum, per_flow)
+        self.collect_result(&sim, &dumbbell, &handles, &table, window_sum, per_flow)
     }
 
     /// Merges every flow's lifecycle span log into one timeline (empty when
@@ -289,6 +294,7 @@ impl LongFlowScenario {
         sim: &Sim,
         dumbbell: &netsim::Dumbbell,
         handles: &[FlowHandle],
+        table: &SharedFlowTable,
         window_sum: Vec<f64>,
         per_flow: Vec<Vec<f64>>,
     ) -> LongFlowResult {
@@ -340,7 +346,12 @@ impl LongFlowScenario {
             span_digest: self
                 .span_capacity
                 .map(|_| Self::merged_spans(sim, handles).digest()),
-            profile: sim.profile(),
+            profile: sim.profile().map(|mut p| {
+                // The kernel already stamped the arena mark; add the
+                // flow-table mark only the runner knows.
+                p.set_state_high_water(0, table.len() as u64);
+                p
+            }),
         }
     }
 
@@ -363,7 +374,7 @@ impl LongFlowScenario {
             sc.span_capacity = Some(4096);
         }
         sc.profiler = true;
-        let (mut sim, dumbbell, handles) = sc.build();
+        let (mut sim, dumbbell, handles, table) = sc.build();
         sim.enable_packet_log(log_capacity);
         sim.start();
         sim.run_until(SimTime::ZERO + sc.warmup);
@@ -375,9 +386,10 @@ impl LongFlowScenario {
         sim.run_until(mark + sc.measure);
 
         let per_flow: Vec<Vec<f64>> = (0..handles.len()).map(|_| Vec::new()).collect();
-        let result = sc.collect_result(&sim, &dumbbell, &handles, Vec::new(), per_flow);
+        let result = sc.collect_result(&sim, &dumbbell, &handles, &table, Vec::new(), per_flow);
         let spans = Self::merged_spans(&sim, &handles);
         let log = sim.kernel().packet_log().expect("packet log enabled");
+        let profile = result.profile.clone().expect("profiler enabled");
         TracedRun {
             result,
             records: log.records().to_vec(),
@@ -385,7 +397,7 @@ impl LongFlowScenario {
             packet_digest: log.digest(),
             ledger: sim.forensics().expect("forensics enabled").clone(),
             spans,
-            profile: sim.profile().expect("profiler enabled"),
+            profile,
             bottleneck: dumbbell.bottleneck,
         }
     }
@@ -647,11 +659,15 @@ impl MixScenario {
             start_window: self.long.start_window,
             ..Default::default()
         };
-        let long_handles = bulk.install(
+        // Long and short senders share one flow table so all hot per-flow
+        // state of the mix stays in one set of dense arrays.
+        let table = SharedFlowTable::new();
+        let long_handles = bulk.install_in(
             &mut sim,
             dumbbell.slice(0..self.long.n_flows),
             0,
             &mut rng,
+            &table,
         );
 
         let horizon = self.long.warmup + self.long.measure;
@@ -666,11 +682,12 @@ impl MixScenario {
             cfg: self.short_cfg,
             horizon,
         };
-        let short_handles = short_wl.install(
+        let short_handles = short_wl.install_in(
             &mut sim,
             dumbbell.slice(self.long.n_flows..dumbbell.n_flows()),
             self.long.n_flows as u32,
             &mut rng,
+            &table,
         );
 
         sim.start();

@@ -51,11 +51,42 @@ pub struct PacketRecord {
     pub event: PacketEvent,
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// A bounded in-memory packet log.
+///
+/// Two modes share one digest definition:
+///
+/// * **Stored** ([`PacketLog::new`]): records are kept for queries and
+///   rendering, and folded into the running digest as they arrive.
+/// * **Digest-only** ([`PacketLog::digest_only`]): records are folded into
+///   the digest and immediately forgotten — nothing is materialized, so
+///   the per-event cost is a few arithmetic instructions and the memory
+///   cost is constant. Query/render APIs see an empty log.
+///
+/// Because both modes run the same fold over the same capacity window, a
+/// digest-only log produces a digest byte-identical to a stored log fed
+/// the same events — by construction, not by parallel implementations.
 #[derive(Debug)]
 pub struct PacketLog {
     records: Vec<PacketRecord>,
     capacity: usize,
+    /// False in digest-only mode: fold, don't store.
+    store: bool,
+    /// Running FNV-1a over the folded records.
+    hash: u64,
+    /// Records folded so far (== `records.len()` in stored mode).
+    folded: u64,
     /// Events that arrived after the log filled.
     pub overflowed: u64,
 }
@@ -66,14 +97,67 @@ impl PacketLog {
         PacketLog {
             records: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
+            store: true,
+            hash: FNV_OFFSET,
+            folded: 0,
             overflowed: 0,
         }
     }
 
-    /// Appends a record (counts instead of storing once full).
+    /// Creates a digest-only log: the first `capacity` records are folded
+    /// into the digest and discarded, later ones are counted as overflow —
+    /// the same window a stored log of this capacity would digest.
+    pub fn digest_only(capacity: usize) -> Self {
+        PacketLog {
+            records: Vec::new(),
+            capacity,
+            store: false,
+            hash: FNV_OFFSET,
+            folded: 0,
+            overflowed: 0,
+        }
+    }
+
+    /// True if this log folds records without storing them.
+    pub fn is_digest_only(&self) -> bool {
+        !self.store
+    }
+
+    #[inline]
+    fn fold(&mut self, rec: &PacketRecord) {
+        let mut h = self.hash;
+        h = fnv_mix(h, rec.time.as_nanos());
+        h = fnv_mix(h, rec.uid);
+        h = fnv_mix(h, u64::from(rec.flow.0));
+        h = fnv_mix(
+            h,
+            match rec.link {
+                Some(l) => u64::from(l.0) + 1,
+                None => 0,
+            },
+        );
+        h = fnv_mix(
+            h,
+            match rec.event {
+                PacketEvent::Queued => 1,
+                PacketEvent::Dropped { .. } => 2,
+                PacketEvent::Transmitted => 3,
+                PacketEvent::Delivered => 4,
+            },
+        );
+        self.hash = h;
+        self.folded += 1;
+    }
+
+    /// Appends a record (counts instead of storing/folding once full).
+    // simlint: hot-path — once per logged packet milestone
+    #[inline]
     pub fn push(&mut self, rec: PacketRecord) {
-        if self.records.len() < self.capacity {
-            self.records.push(rec);
+        if self.folded < self.capacity as u64 {
+            self.fold(&rec);
+            if self.store {
+                self.records.push(rec);
+            }
         } else {
             self.overflowed += 1;
         }
@@ -108,42 +192,19 @@ impl PacketLog {
         self.iter_flow(flow).copied().collect()
     }
 
-    /// A 64-bit FNV-1a digest over every stored record (time, uid, flow,
+    /// A 64-bit FNV-1a digest over every folded record (time, uid, flow,
     /// link, event kind). Two runs of the same scenario with the same seed
     /// must produce identical digests — the determinism regression tests
-    /// compare these instead of multi-megabyte logs.
+    /// compare these instead of multi-megabyte logs. Folding happens
+    /// incrementally at [`PacketLog::push`], so stored and digest-only
+    /// logs fed the same events report the same value.
     ///
     /// The drop *metadata* (reason, queue depth) is deliberately excluded:
     /// every `Dropped` form hashes to the same code, so the digest byte
     /// stream is identical to the pre-forensics one and enabling drop
     /// forensics can never change it.
     pub fn digest(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
-        for r in &self.records {
-            mix(r.time.as_nanos());
-            mix(r.uid);
-            mix(u64::from(r.flow.0));
-            mix(match r.link {
-                Some(l) => u64::from(l.0) + 1,
-                None => 0,
-            });
-            mix(match r.event {
-                PacketEvent::Queued => 1,
-                PacketEvent::Dropped { .. } => 2,
-                PacketEvent::Transmitted => 3,
-                PacketEvent::Delivered => 4,
-            });
-        }
-        mix(self.records.len() as u64);
-        h
+        fnv_mix(self.hash, self.folded)
     }
 
     /// Renders the log in an ns-2-like single-line-per-event text format:
@@ -244,6 +305,27 @@ mod tests {
         c.push(rec(1, 1, dropped()));
         c.push(rec(2, 1, PacketEvent::Transmitted));
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_only_matches_stored_digest() {
+        // The two modes share one fold, one capacity window, one overflow
+        // rule — identical event streams must yield identical digests.
+        let mut stored = PacketLog::new(2);
+        let mut lean = PacketLog::digest_only(2);
+        for r in [
+            rec(1, 1, PacketEvent::Queued),
+            rec(2, 1, PacketEvent::Transmitted),
+            rec(3, 1, PacketEvent::Delivered), // beyond capacity: overflow
+        ] {
+            stored.push(r);
+            lean.push(r);
+        }
+        assert_eq!(stored.digest(), lean.digest());
+        assert_eq!(stored.overflowed, lean.overflowed);
+        assert!(lean.is_digest_only() && !stored.is_digest_only());
+        assert!(lean.records().is_empty(), "digest-only stores nothing");
+        assert_eq!(stored.records().len(), 2);
     }
 
     #[test]

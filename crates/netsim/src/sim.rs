@@ -267,6 +267,12 @@ impl Kernel {
         self.packet_log.as_ref()
     }
 
+    /// Total packet-arena slots ever allocated — the high-water mark of
+    /// simultaneously live packets over the run (slots are never shrunk).
+    pub fn arena_high_water(&self) -> usize {
+        self.arena.capacity()
+    }
+
     /// The runtime auditor, if enabled.
     pub fn auditor(&self) -> Option<&Auditor> {
         self.auditor.as_ref()
@@ -337,7 +343,27 @@ impl Kernel {
         }
     }
 
-    fn log_packet(&mut self, uid: u64, flow: FlowId, link: Option<LinkId>, event: PacketEvent) {
+    /// Whether any per-event observer is attached. The run loop branches on
+    /// this once and instantiates the statically specialized fast path
+    /// (`OBS = false`) when it can: every observer hook below compiles away
+    /// entirely, leaving only counter increments on the sweep path.
+    fn observers_active(&self) -> bool {
+        self.packet_log.is_some()
+            || self.auditor.is_some()
+            || self.forensics.is_some()
+            || self.prof.is_some()
+    }
+
+    fn log_packet<const OBS: bool>(
+        &mut self,
+        uid: u64,
+        flow: FlowId,
+        link: Option<LinkId>,
+        event: PacketEvent,
+    ) {
+        if !OBS {
+            return;
+        }
         if let Some(log) = &mut self.packet_log {
             log.push(PacketRecord {
                 time: self.now,
@@ -358,7 +384,13 @@ impl Kernel {
 
     /// Accounts and logs a drop of the arena packet `pref`, then recycles
     /// its slot. `depth` is the queue depth snapshot for forensics.
-    fn account_drop(&mut self, lid: LinkId, pref: PacketRef, reason: DropReason, depth: u32) {
+    fn account_drop<const OBS: bool>(
+        &mut self,
+        lid: LinkId,
+        pref: PacketRef,
+        reason: DropReason,
+        depth: u32,
+    ) {
         self.stats.drops += 1;
         let p = self.arena.get(pref);
         let (uid, flow, is_data) = (p.uid, p.flow, p.kind.is_tcp_data());
@@ -367,13 +399,15 @@ impl Kernel {
         if is_data {
             fs.data_drops += 1;
         }
-        self.log_packet(uid, flow, Some(lid), PacketEvent::Dropped { reason, depth });
-        if let Some(led) = &mut self.forensics {
-            let now = self.now;
-            led.on_drop(now, lid, flow, reason, depth);
-        }
-        if let Some(a) = &mut self.auditor {
-            a.on_dropped();
+        if OBS {
+            self.log_packet::<OBS>(uid, flow, Some(lid), PacketEvent::Dropped { reason, depth });
+            if let Some(led) = &mut self.forensics {
+                let now = self.now;
+                led.on_drop(now, lid, flow, reason, depth);
+            }
+            if let Some(a) = &mut self.auditor {
+                a.on_dropped();
+            }
         }
         self.arena.release(pref);
     }
@@ -381,21 +415,23 @@ impl Kernel {
     /// Injects the arena packet `pref` at `node`: route lookup, then queue
     /// or transmit.
     // simlint: hot-path — once per Inject/forwarded Arrival event
-    fn inject(&mut self, node: NodeId, pref: PacketRef) {
+    fn inject<const OBS: bool>(&mut self, node: NodeId, pref: PacketRef) {
         let dst = self.arena.get(pref).dst;
         let Some(lid) = self.nodes[node.idx()].routes.lookup(dst) else {
             self.stats.unroutable += 1;
-            if let Some(a) = &mut self.auditor {
-                a.on_unroutable();
+            if OBS {
+                if let Some(a) = &mut self.auditor {
+                    a.on_unroutable();
+                }
             }
             self.arena.release(pref);
             return;
         };
-        self.enqueue_on_link(lid, pref);
+        self.enqueue_on_link::<OBS>(lid, pref);
     }
 
     // simlint: hot-path — once per packet offered to a link
-    fn enqueue_on_link(&mut self, lid: LinkId, pref: PacketRef) {
+    fn enqueue_on_link<const OBS: bool>(&mut self, lid: LinkId, pref: PacketRef) {
         let now = self.now;
         // Fault injection: random link loss, independent of the queue.
         let loss = self.links[lid.idx()].random_loss;
@@ -404,7 +440,7 @@ impl Kernel {
             let depth = link.queue.len_packets();
             link.monitor.on_offered(depth);
             link.monitor.on_drop();
-            self.account_drop(lid, pref, DropReason::RandomLoss, depth as u32);
+            self.account_drop::<OBS>(lid, pref, DropReason::RandomLoss, depth as u32);
             return;
         }
         let p = self.arena.get(pref);
@@ -423,10 +459,10 @@ impl Kernel {
             debug_assert!(link.queue.is_empty());
             let qlen = link.queue.len_packets();
             link.monitor.on_offered(qlen);
-            self.log_packet(uid, flow, Some(lid), PacketEvent::Queued);
+            self.log_packet::<OBS>(uid, flow, Some(lid), PacketEvent::Queued);
             self.start_tx(lid, qp);
         } else {
-            self.log_packet(uid, flow, Some(lid), PacketEvent::Queued);
+            self.log_packet::<OBS>(uid, flow, Some(lid), PacketEvent::Queued);
             let link = &mut self.links[lid.idx()];
             match link.queue.enqueue(qp, now, &mut self.rng) {
                 Ok(()) => {
@@ -442,7 +478,7 @@ impl Kernel {
                     link.monitor.on_drop();
                     // `dropped` is usually the offered packet, but buffer-
                     // stealing disciplines (DRR) may evict a different one.
-                    self.account_drop(lid, dropped.pref, reason, qlen as u32);
+                    self.account_drop::<OBS>(lid, dropped.pref, reason, qlen as u32);
                 }
             }
         }
@@ -459,7 +495,7 @@ impl Kernel {
     }
 
     // simlint: hot-path — once per TxEnd event
-    fn on_tx_end(&mut self, lid: LinkId) {
+    fn on_tx_end<const OBS: bool>(&mut self, lid: LinkId) {
         let (pref, tx) = self.in_flight[lid.idx()]
             .take()
             // simlint: allow(panic-in-kernel): a TxEnd event is only ever scheduled together with an in_flight entry
@@ -469,7 +505,7 @@ impl Kernel {
         let link = &mut self.links[lid.idx()];
         link.monitor.on_tx(size, tx);
         let delay = link.delay;
-        self.log_packet(uid, flow, Some(lid), PacketEvent::Transmitted);
+        self.log_packet::<OBS>(uid, flow, Some(lid), PacketEvent::Transmitted);
         self.pending_arrivals += 1;
         self.events.schedule(
             self.now + delay,
@@ -568,7 +604,11 @@ impl<'a> Ctx<'a> {
             }
             _ => {
                 let pref = self.kernel.arena.alloc(packet);
-                self.kernel.inject(self.node, pref);
+                // Agent callbacks are dispatched through `dyn Agent`, so the
+                // observer flag cannot be threaded here; the dynamic variant
+                // (`OBS = true` keeps every observer check) is always
+                // behavior-identical.
+                self.kernel.inject::<true>(self.node, pref);
             }
         }
     }
@@ -679,6 +719,15 @@ impl Sim {
         self.kernel.packet_log = Some(PacketLog::new(capacity));
     }
 
+    /// Enables digest-only packet logging: the same per-event milestones a
+    /// full log of this capacity would record are folded incrementally into
+    /// the FNV-1a digest and immediately discarded, so
+    /// `packet_log().digest()` is available at constant memory and near-zero
+    /// per-event cost, byte-identical to a stored log's digest.
+    pub fn enable_packet_digest(&mut self, capacity: usize) {
+        self.kernel.packet_log = Some(PacketLog::digest_only(capacity));
+    }
+
     /// Enables runtime invariant auditing: packet conservation, queue
     /// bounds, and event-time monotonicity are checked after every event
     /// (see [`Auditor`]). Must be called before [`Sim::start`]; auditing
@@ -782,9 +831,26 @@ impl Sim {
 
     /// Processes all events with `time <= until`, then sets the clock to
     /// `until`. Calling with a time in the past is a no-op.
+    ///
+    /// Dispatch is specialized on the observer configuration: when no
+    /// per-event observer (packet log, auditor, forensics, profiler) is
+    /// attached, the `OBS = false` instantiation of the loop runs — every
+    /// observer hook is compiled out of the kernel's hot functions, leaving
+    /// only counter increments on the uninstrumented sweep path. Both
+    /// instantiations execute the identical simulation logic, so results
+    /// and digests cannot differ.
     // simlint: hot-path — the event loop itself
     pub fn run_until(&mut self, until: SimTime) {
         assert!(self.started, "call start() before running");
+        if self.kernel.observers_active() {
+            self.run_loop::<true>(until);
+        } else {
+            self.run_loop::<false>(until);
+        }
+    }
+
+    // simlint: hot-path — the event loop itself
+    fn run_loop<const OBS: bool>(&mut self, until: SimTime) {
         // Batched dispatch: drain every event sharing the earliest timestamp
         // in one scheduler call (one wheel-slot walk instead of per-event
         // pops). Events an agent schedules *for the current instant* while
@@ -794,17 +860,23 @@ impl Sim {
         // allocate.
         let mut batch = std::mem::take(&mut self.batch);
         while let Some(t) = self.kernel.events.drain_next_batch(until, &mut batch) {
-            if let Some(a) = &self.kernel.auditor {
-                a.check_monotonic(self.kernel.now, t);
+            if OBS {
+                if let Some(a) = &self.kernel.auditor {
+                    a.check_monotonic(self.kernel.now, t);
+                }
             }
             self.kernel.now = t;
             for ev in batch.drain(..) {
                 self.kernel.stats.events += 1;
-                if let Some(p) = &mut self.kernel.prof {
-                    p.on_dispatch(ev.class(), t.as_nanos());
+                if OBS {
+                    if let Some(p) = &mut self.kernel.prof {
+                        p.on_dispatch(ev.class(), t.as_nanos());
+                    }
                 }
-                self.dispatch_event(ev);
-                self.kernel.audit_check();
+                self.dispatch_event::<OBS>(ev);
+                if OBS {
+                    self.kernel.audit_check();
+                }
             }
         }
         self.batch = batch;
@@ -816,16 +888,16 @@ impl Sim {
     /// Dispatches one event at the current clock.
     // simlint: hot-path — once per event, every event class
     #[inline]
-    fn dispatch_event(&mut self, ev: Event) {
+    fn dispatch_event<const OBS: bool>(&mut self, ev: Event) {
         match ev {
-            Event::TxEnd { link } => self.kernel.on_tx_end(link),
+            Event::TxEnd { link } => self.kernel.on_tx_end::<OBS>(link),
             Event::Arrival { link, packet } => {
                 self.kernel.pending_arrivals -= 1;
                 let node = self.kernel.links[link.idx()].to;
                 match self.kernel.nodes[node.idx()].kind {
                     NodeKind::Router => {
                         self.kernel.stats.forwarded += 1;
-                        self.kernel.inject(node, packet);
+                        self.kernel.inject::<OBS>(node, packet);
                     }
                     NodeKind::Host => {
                         let flow = self.kernel.arena.get(packet).flow;
@@ -839,19 +911,23 @@ impl Sim {
                             Some(aid) => {
                                 self.kernel.stats.delivered += 1;
                                 self.kernel.flow_stats_mut(flow).delivered += 1;
-                                let uid = self.kernel.arena.get(packet).uid;
-                                self.kernel
-                                    .log_packet(uid, flow, None, PacketEvent::Delivered);
-                                if let Some(a) = &mut self.kernel.auditor {
-                                    a.on_delivered();
+                                if OBS {
+                                    let uid = self.kernel.arena.get(packet).uid;
+                                    self.kernel
+                                        .log_packet::<OBS>(uid, flow, None, PacketEvent::Delivered);
+                                    if let Some(a) = &mut self.kernel.auditor {
+                                        a.on_delivered();
+                                    }
                                 }
                                 let pkt = self.kernel.arena.take(packet);
                                 self.dispatch_packet(aid, pkt);
                             }
                             None => {
                                 self.kernel.stats.unroutable += 1;
-                                if let Some(a) = &mut self.kernel.auditor {
-                                    a.on_unroutable();
+                                if OBS {
+                                    if let Some(a) = &mut self.kernel.auditor {
+                                        a.on_unroutable();
+                                    }
                                 }
                                 self.kernel.arena.release(packet);
                             }
@@ -862,7 +938,7 @@ impl Sim {
             Event::Timer { agent, token } => self.dispatch_timer(agent, token),
             Event::Inject { node, packet } => {
                 self.kernel.pending_injects -= 1;
-                self.kernel.inject(node, packet);
+                self.kernel.inject::<OBS>(node, packet);
             }
             Event::QueueSample { period } => {
                 self.kernel.sample_queues();
@@ -966,6 +1042,7 @@ impl Sim {
         let mut p = self.kernel.prof.clone()?;
         let (calls, slots) = self.kernel.events.reserve_stats();
         p.set_queue_stats(self.kernel.events.depth_high_water() as u64, calls, slots);
+        p.set_state_high_water(self.kernel.arena_high_water() as u64, 0);
         Some(p)
     }
 

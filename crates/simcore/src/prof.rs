@@ -39,6 +39,8 @@ pub struct Profile {
     depth_high_water: u64,
     reserve_calls: u64,
     reserved_slots: u64,
+    arena_high_water: u64,
+    flow_high_water: u64,
     runs: u64,
 }
 
@@ -53,6 +55,8 @@ impl Profile {
             depth_high_water: 0,
             reserve_calls: 0,
             reserved_slots: 0,
+            arena_high_water: 0,
+            flow_high_water: 0,
             runs: 1,
         }
     }
@@ -82,6 +86,20 @@ impl Profile {
         self.depth_high_water = self.depth_high_water.max(depth_high_water);
         self.reserve_calls += reserve_calls;
         self.reserved_slots += reserved_slots;
+    }
+
+    /// Stamps simulation state high-water marks: packet-arena slots ever
+    /// allocated and flow-table sender slots allocated. Like the queue
+    /// depth, these take the max, so the kernel and the scenario runner can
+    /// each stamp the mark they own without clobbering the other.
+    pub fn set_state_high_water(&mut self, arena: u64, flows: u64) {
+        self.arena_high_water = self.arena_high_water.max(arena);
+        self.flow_high_water = self.flow_high_water.max(flows);
+    }
+
+    /// `(packet-arena, flow-table)` high-water marks.
+    pub fn state_high_water(&self) -> (u64, u64) {
+        (self.arena_high_water, self.flow_high_water)
     }
 
     /// Total event dispatches across all classes.
@@ -140,6 +158,8 @@ impl Profile {
         self.depth_high_water = self.depth_high_water.max(other.depth_high_water);
         self.reserve_calls += other.reserve_calls;
         self.reserved_slots += other.reserved_slots;
+        self.arena_high_water = self.arena_high_water.max(other.arena_high_water);
+        self.flow_high_water = self.flow_high_water.max(other.flow_high_water);
         self.runs += other.runs;
         // A merged profile spans runs; the per-run gap chain ends here.
         self.last_ns = None;
@@ -166,6 +186,8 @@ impl Profile {
         mix(&self.depth_high_water.to_le_bytes());
         mix(&self.reserve_calls.to_le_bytes());
         mix(&self.reserved_slots.to_le_bytes());
+        mix(&self.arena_high_water.to_le_bytes());
+        mix(&self.flow_high_water.to_le_bytes());
         mix(&self.runs.to_le_bytes());
         h
     }
@@ -182,6 +204,8 @@ impl Profile {
         out.push(("queue.depth_high_water".to_string(), self.depth_high_water));
         out.push(("reserve.calls".to_string(), self.reserve_calls));
         out.push(("reserve.slots".to_string(), self.reserved_slots));
+        out.push(("arena.high_water".to_string(), self.arena_high_water));
+        out.push(("flow_table.high_water".to_string(), self.flow_high_water));
         out.push(("runs".to_string(), self.runs));
         for (i, &n) in self.gap_hist.iter().enumerate() {
             if n > 0 {
@@ -246,6 +270,21 @@ mod tests {
         assert_eq!(a.depth_high_water(), 17);
         assert_eq!(a.reserve_stats(), (4, 8192));
         assert_eq!(a.runs(), 2);
+    }
+
+    #[test]
+    fn state_high_water_maxes_across_stamps_and_merges() {
+        let mut a = sample();
+        a.set_state_high_water(120, 0); // kernel stamps the arena mark
+        a.set_state_high_water(0, 16); // runner stamps the flow mark
+        assert_eq!(a.state_high_water(), (120, 16));
+        let mut b = sample();
+        b.set_state_high_water(80, 40);
+        a.merge(&b);
+        assert_eq!(a.state_high_water(), (120, 40));
+        let rows = a.row_map();
+        assert_eq!(rows["arena.high_water"], 120);
+        assert_eq!(rows["flow_table.high_water"], 40);
     }
 
     #[test]

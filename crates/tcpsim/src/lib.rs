@@ -36,6 +36,7 @@ pub mod sack;
 pub mod sender;
 pub mod seq;
 pub mod span;
+pub mod table;
 
 pub use agent::{FlowRecord, TcpSink, TcpSource};
 pub use cc::{CcState, CongestionControl, Cubic, FixedWindow, NewReno, Reno};
@@ -46,3 +47,4 @@ pub use sack::SackSender;
 pub use rtt::RttEstimator;
 pub use sender::{SenderState, TcpAction, TcpSender};
 pub use span::{SpanDetector, SpanKind, SpanLog, SpanRecord};
+pub use table::{FlowSlot, FlowTable, SharedFlowTable};

@@ -32,7 +32,13 @@ impl AckInfo {
 
 /// A TCP sender state machine: consumes ACKs and timer expiries, produces
 /// [`TcpAction`]s.
-pub trait SenderMachine: Send {
+///
+/// Deliberately not `Send`: sender state lives in a
+/// [`SharedFlowTable`](crate::table::SharedFlowTable) (`Rc<RefCell<…>>`)
+/// shared by every flow of one single-threaded simulation. Parallel sweeps
+/// build each simulation inside its own worker thread, so machines never
+/// cross threads.
+pub trait SenderMachine {
     /// Upcast for downcasting to a concrete machine (diagnostics/tests).
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -67,8 +73,10 @@ pub trait SenderMachine: Send {
     fn in_recovery(&self) -> bool;
     /// Counters.
     fn stats(&self) -> SenderStats;
-    /// RTT estimator (diagnostics).
-    fn rtt(&self) -> &RttEstimator;
+    /// A snapshot of the RTT estimator (diagnostics). Returned by value:
+    /// the estimator lives behind the flow table's `RefCell`, so a
+    /// reference cannot escape.
+    fn rtt(&self) -> RttEstimator;
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
 }
@@ -111,7 +119,7 @@ impl SenderMachine for TcpSender {
     fn stats(&self) -> SenderStats {
         TcpSender::stats(self)
     }
-    fn rtt(&self) -> &RttEstimator {
+    fn rtt(&self) -> RttEstimator {
         TcpSender::rtt(self)
     }
     fn name(&self) -> &'static str {

@@ -231,13 +231,27 @@ impl TcpReceiver {
     /// Builds the SACK option for an outgoing ACK. The first block is the
     /// run containing `trigger` (the most recently received segment, per
     /// RFC 2018); the remaining slots report the lowest other runs.
+    // simlint: hot-path — built for every dup/partial ACK while holes exist
     fn sack_ranges(&self, trigger: u64) -> SackRanges {
         let mut out = SackRanges::default();
         if self.ooo.is_empty() {
             return out;
         }
-        // Collect contiguous runs from the out-of-order set.
-        let mut runs: Vec<(u64, u64)> = Vec::new();
+        // Single ascending pass over the out-of-order set: contiguous runs
+        // are discovered in order, the run containing `trigger` is held
+        // aside for the first slot, and the lowest other runs fill the
+        // remaining two. No per-ACK allocation.
+        let mut trigger_run: Option<(u64, u64)> = None;
+        let mut low = [(0u64, 0u64); 3];
+        let mut n_low = 0usize;
+        let mut emit = |run: (u64, u64)| {
+            if trigger >= run.0 && trigger < run.1 {
+                trigger_run = Some(run);
+            } else if n_low < low.len() {
+                low[n_low] = run;
+                n_low += 1;
+            }
+        };
         let mut iter = self.ooo.iter().copied();
         // simlint: allow(panic-in-kernel): guarded by the is_empty early return just above
         let first = iter.next().expect("non-empty");
@@ -246,19 +260,15 @@ impl TcpReceiver {
             if s == cur.1 {
                 cur.1 = s + 1;
             } else {
-                runs.push(cur);
+                emit(cur);
                 cur = (s, s + 1);
             }
         }
-        runs.push(cur);
-        // Most-recent block first.
-        if let Some(pos) = runs
-            .iter()
-            .position(|&(a, b)| trigger >= a && trigger < b)
-        {
-            out.push(runs.remove(pos));
+        emit(cur);
+        if let Some(tr) = trigger_run {
+            out.push(tr);
         }
-        for r in runs {
+        for &r in &low[..n_low] {
             out.push(r);
         }
         out

@@ -12,112 +12,145 @@
 //! buffer-sizing experiments): segment granularity (no partial SACK
 //! blocks), no rescue retransmission rule, and the scoreboard is cleared
 //! on RTO (as ns-2's `Sack1` does).
+//!
+//! Like [`TcpSender`](crate::sender::TcpSender), the sender is a thin view
+//! over a [`FlowTable`] slot: hot fields live in
+//! the table's parallel arrays, the scoreboard sets in its cold side table.
 
-use crate::cc::CcState;
 use crate::config::TcpConfig;
 use crate::machine::{AckInfo, SenderMachine};
 use crate::rtt::RttEstimator;
 use crate::sender::{SenderStats, TcpAction};
+use crate::table::{FlowSlot, FlowTable, SharedFlowTable};
 use simcore::SimTime;
-use std::collections::BTreeSet;
 
 /// Number of SACKed segments above a hole before it is declared lost
 /// (RFC 3517's `DupThresh`).
 const DUP_THRESH: usize = 3;
 
-/// Coarse state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum State {
-    Open,
-    Recovery,
-}
-
-/// The SACK sender.
+/// The SACK sender: configuration plus a [`FlowTable`] slot holding all
+/// mutable per-flow state (the scoreboard sits in the cold side table).
+#[derive(Debug)]
 pub struct SackSender {
     cfg: TcpConfig,
-    ccs: CcState,
     flow_size: Option<u64>,
-    next_seq: u64,
-    snd_una: u64,
-    /// Highest sequence ever sent + 1 (never rewinds).
-    max_sent: u64,
-    /// Recovery point: recovery ends when `snd_una` passes it.
-    high_water: u64,
-    state: State,
-    /// Scoreboard: segments above `snd_una` known received.
-    sacked: BTreeSet<u64>,
-    /// Segments retransmitted during the current recovery episode.
-    retx: BTreeSet<u64>,
-    dupacks: u32,
-    rtt: RttEstimator,
-    rto_gen: u64,
-    started: bool,
-    completed: bool,
-    stats: SenderStats,
+    table: SharedFlowTable,
+    slot: FlowSlot,
 }
 
 impl SackSender {
     /// Creates a SACK sender for a flow of `flow_size` segments (`None` =
-    /// infinite).
+    /// infinite) with a private one-slot [`FlowTable`]; multi-flow
+    /// workloads should share one table via [`SackSender::in_table`].
     pub fn new(cfg: TcpConfig, flow_size: Option<u64>) -> Self {
+        Self::in_table(&SharedFlowTable::new(), cfg, flow_size)
+    }
+
+    /// Creates a SACK sender whose state lives in `table` (one slot is
+    /// allocated).
+    pub fn in_table(table: &SharedFlowTable, cfg: TcpConfig, flow_size: Option<u64>) -> Self {
         if let Some(n) = flow_size {
             assert!(n > 0, "flow must have at least one segment");
         }
-        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto);
+        let slot = table.alloc(&cfg);
         SackSender {
-            ccs: CcState::new(cfg.initial_cwnd),
             cfg,
             flow_size,
-            next_seq: 0,
-            snd_una: 0,
-            max_sent: 0,
-            high_water: 0,
-            state: State::Open,
-            sacked: BTreeSet::new(),
-            retx: BTreeSet::new(),
-            dupacks: 0,
-            rtt,
-            rto_gen: 0,
-            started: false,
-            completed: false,
-            stats: SenderStats::default(),
+            table: table.clone(),
+            slot,
         }
     }
 
     /// True while in SACK loss recovery.
     pub fn in_recovery(&self) -> bool {
-        self.state == State::Recovery
+        self.table.table().recovery[self.slot.index()]
     }
 
     /// Number of segments currently marked SACKed.
     pub fn sacked_count(&self) -> usize {
-        self.sacked.len()
+        self.table.table().cold[self.slot.index()]
+            .scoreboard
+            .sacked
+            .len()
+    }
+
+    /// The congestion window (segments, fractional).
+    pub fn cwnd(&self) -> f64 {
+        self.table.table().ccs[self.slot.index()].cwnd
+    }
+
+    /// The slow-start threshold (segments).
+    pub fn ssthresh(&self) -> f64 {
+        self.table.table().ccs[self.slot.index()].ssthresh
+    }
+
+    /// Outstanding (sent, unacked) segments.
+    pub fn flight(&self) -> u64 {
+        let t = self.table.table();
+        t.next_seq[self.slot.index()] - t.snd_una[self.slot.index()]
+    }
+
+    /// Oldest unacknowledged segment.
+    pub fn snd_una(&self) -> u64 {
+        self.table.table().snd_una[self.slot.index()]
+    }
+
+    /// Next never-before-sent segment.
+    pub fn next_seq(&self) -> u64 {
+        self.table.table().next_seq[self.slot.index()]
+    }
+
+    /// True once every segment of a finite flow is acknowledged.
+    pub fn is_completed(&self) -> bool {
+        self.table.table().cold[self.slot.index()].completed
+    }
+
+    /// Sender counters.
+    pub fn stats(&self) -> SenderStats {
+        self.table.table().cold[self.slot.index()].stats
+    }
+
+    /// The current RTO timer generation (tests).
+    pub fn rto_gen(&self) -> u64 {
+        self.table.table().rto_gen[self.slot.index()]
+    }
+
+    /// A snapshot of the RTT estimator (for diagnostics).
+    pub fn rtt(&self) -> RttEstimator {
+        self.table.table().rtt[self.slot.index()].clone()
+    }
+
+    /// RFC 3517 pipe: an estimate of segments still in the network
+    /// (diagnostics/tests; the hot path uses the internal `pipe_in`).
+    pub fn pipe(&self) -> u64 {
+        Self::pipe_in(&self.table.table(), self.slot.index())
     }
 
     fn is_fin(&self, seq: u64) -> bool {
         self.flow_size.map(|n| seq + 1 == n).unwrap_or(false)
     }
 
-    fn window(&self) -> u64 {
-        (self.ccs.cwnd.min(self.cfg.max_window as f64))
+    fn window_in(&self, t: &FlowTable) -> u64 {
+        (t.ccs[self.slot.index()].cwnd.min(self.cfg.max_window as f64))
             .floor()
             .max(1.0) as u64
     }
 
     /// RFC 3517 IsLost: at least `DUP_THRESH` SACKed segments above `seq`.
-    fn is_lost(&self, seq: u64) -> bool {
-        self.sacked.range(seq + 1..).count() >= DUP_THRESH
+    fn is_lost_in(t: &FlowTable, i: usize, seq: u64) -> bool {
+        t.cold[i].scoreboard.sacked.range(seq + 1..).count() >= DUP_THRESH
     }
 
     /// RFC 3517 pipe: an estimate of segments still in the network.
-    fn pipe(&self) -> u64 {
+    fn pipe_in(t: &FlowTable, i: usize) -> u64 {
+        let sb = &t.cold[i].scoreboard;
         let mut p = 0u64;
-        for seq in self.snd_una..self.next_seq {
-            if self.sacked.contains(&seq) {
+        for seq in t.snd_una[i]..t.next_seq[i] {
+            if sb.sacked.contains(&seq) {
                 continue;
             }
-            if self.is_lost(seq) {
-                if self.retx.contains(&seq) {
+            if Self::is_lost_in(t, i, seq) {
+                if sb.retx.contains(&seq) {
                     p += 1;
                 }
             } else {
@@ -128,181 +161,191 @@ impl SackSender {
     }
 
     /// RFC 3517 NextSeg: the next segment worth transmitting.
-    fn next_seg(&self) -> Option<(u64, bool)> {
-        if self.state == State::Recovery {
-            for seq in self.snd_una..self.next_seq {
-                if !self.sacked.contains(&seq)
-                    && !self.retx.contains(&seq)
-                    && self.is_lost(seq)
+    fn next_seg_in(&self, t: &FlowTable) -> Option<(u64, bool)> {
+        let i = self.slot.index();
+        if t.recovery[i] {
+            let sb = &t.cold[i].scoreboard;
+            for seq in t.snd_una[i]..t.next_seq[i] {
+                if !sb.sacked.contains(&seq)
+                    && !sb.retx.contains(&seq)
+                    && Self::is_lost_in(t, i, seq)
                 {
                     return Some((seq, true));
                 }
             }
         }
         let limit = self.flow_size.unwrap_or(u64::MAX);
-        if self.next_seq < limit {
-            return Some((self.next_seq, false));
+        if t.next_seq[i] < limit {
+            return Some((t.next_seq[i], false));
         }
         None
     }
 
-    fn send_allowed(&mut self, out: &mut Vec<TcpAction>) {
-        let mut pipe = self.pipe();
-        let wnd = self.window();
+    fn send_allowed(&mut self, t: &mut FlowTable, out: &mut Vec<TcpAction>) {
+        let i = self.slot.index();
+        let mut pipe = Self::pipe_in(t, i);
+        let wnd = self.window_in(t);
         while pipe < wnd {
-            let Some((seq, is_retx)) = self.next_seg() else {
+            let Some((seq, is_retx)) = self.next_seg_in(t) else {
                 break;
             };
-            let retransmit = seq < self.max_sent;
+            let retransmit = seq < t.max_sent[i];
             out.push(TcpAction::Send {
                 seq,
                 retransmit,
                 fin: self.is_fin(seq),
             });
-            self.stats.segments_sent += 1;
+            t.cold[i].stats.segments_sent += 1;
             if retransmit {
-                self.stats.retransmits += 1;
+                t.cold[i].stats.retransmits += 1;
             }
             if is_retx {
-                self.retx.insert(seq);
+                t.cold[i].scoreboard.retx.insert(seq);
             } else {
-                self.next_seq = seq + 1;
-                self.max_sent = self.max_sent.max(self.next_seq);
+                t.next_seq[i] = seq + 1;
+                t.max_sent[i] = t.max_sent[i].max(t.next_seq[i]);
             }
             pipe += 1;
         }
     }
 
-    fn arm_rto(&mut self, out: &mut Vec<TcpAction>) {
-        if self.snd_una == self.next_seq || self.completed {
-            self.rto_gen += 1;
+    fn arm_rto(&mut self, t: &mut FlowTable, out: &mut Vec<TcpAction>) {
+        let i = self.slot.index();
+        if t.snd_una[i] == t.next_seq[i] || t.cold[i].completed {
+            t.rto_gen[i] += 1;
             return;
         }
-        self.rto_gen += 1;
+        t.rto_gen[i] += 1;
         out.push(TcpAction::ArmRto {
-            delay: self.rtt.rto(),
-            gen: self.rto_gen,
+            delay: t.rtt[i].rto(),
+            gen: t.rto_gen[i],
         });
     }
 
-    fn enter_recovery(&mut self, out: &mut Vec<TcpAction>) {
-        self.stats.fast_retransmits += 1;
-        let flight = (self.next_seq - self.snd_una) as f64;
-        self.ccs.ssthresh = (flight / 2.0).max(2.0);
-        self.ccs.cwnd = self.ccs.ssthresh;
-        self.high_water = self.high_water.max(self.next_seq);
-        self.retx.clear();
-        self.state = State::Recovery;
+    fn enter_recovery(&mut self, t: &mut FlowTable, out: &mut Vec<TcpAction>) {
+        let i = self.slot.index();
+        t.cold[i].stats.fast_retransmits += 1;
+        let flight = (t.next_seq[i] - t.snd_una[i]) as f64;
+        t.ccs[i].ssthresh = (flight / 2.0).max(2.0);
+        t.ccs[i].cwnd = t.ccs[i].ssthresh;
+        t.high_water[i] = t.high_water[i].max(t.next_seq[i]);
+        t.cold[i].scoreboard.retx.clear();
+        t.recovery[i] = true;
         // RFC 3517 §5 step 4.2 / ns-2 Sack1: retransmit the first hole
         // immediately, regardless of pipe (pipe usually still reflects the
         // pre-loss flight at this instant).
-        if let Some((seq, true)) = self.next_seg() {
+        if let Some((seq, true)) = self.next_seg_in(t) {
             out.push(TcpAction::Send {
                 seq,
                 retransmit: true,
                 fin: self.is_fin(seq),
             });
-            self.stats.segments_sent += 1;
-            self.stats.retransmits += 1;
-            self.retx.insert(seq);
+            t.cold[i].stats.segments_sent += 1;
+            t.cold[i].stats.retransmits += 1;
+            t.cold[i].scoreboard.retx.insert(seq);
         }
     }
 
     /// Begins transmission, appending actions to `out` (the agent reuses one
     /// scratch buffer across events; the hot path performs no allocation).
     pub fn start_into(&mut self, _now: SimTime, out: &mut Vec<TcpAction>) {
-        assert!(!self.started, "start() called twice");
-        self.started = true;
-        self.send_allowed(out);
-        self.arm_rto(out);
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        assert!(!t.cold[i].started, "start() called twice");
+        t.cold[i].started = true;
+        self.send_allowed(t, out);
+        self.arm_rto(t, out);
     }
 
     /// Processes an acknowledgement, appending actions to `out`.
     // simlint: hot-path — once per ACK
     pub fn on_ack_into(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
-        if self.completed || !self.started {
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        if t.cold[i].completed || !t.cold[i].started {
             return;
         }
-        if info.ack > self.max_sent {
+        if info.ack > t.max_sent[i] {
             return; // bogus (stale flow-id reuse)
         }
-        self.stats.acks += 1;
+        t.cold[i].stats.acks += 1;
         if info.ts_echo <= now {
-            self.rtt.sample(now.since(info.ts_echo));
+            t.rtt[i].sample(now.since(info.ts_echo));
         }
-        let advanced = info.ack > self.snd_una;
+        let advanced = info.ack > t.snd_una[i];
 
         // Merge SACK blocks into the scoreboard.
         for (start, end) in info.sack.iter() {
-            for seq in start.max(info.ack)..end.min(self.max_sent) {
-                if seq >= self.snd_una {
-                    self.sacked.insert(seq);
+            for seq in start.max(info.ack)..end.min(t.max_sent[i]) {
+                if seq >= t.snd_una[i] {
+                    t.cold[i].scoreboard.sacked.insert(seq);
                 }
             }
         }
 
-        if info.ack > self.snd_una {
-            let newly = info.ack - self.snd_una;
-            self.snd_una = info.ack;
-            if self.next_seq < self.snd_una {
-                self.next_seq = self.snd_una;
+        if info.ack > t.snd_una[i] {
+            let newly = info.ack - t.snd_una[i];
+            t.snd_una[i] = info.ack;
+            if t.next_seq[i] < t.snd_una[i] {
+                t.next_seq[i] = t.snd_una[i];
             }
             // Prune the scoreboard below the cumulative ACK.
-            self.sacked = self.sacked.split_off(&self.snd_una);
-            self.retx = self.retx.split_off(&self.snd_una);
-            self.dupacks = 0;
+            let sb = &mut t.cold[i].scoreboard;
+            sb.sacked = sb.sacked.split_off(&t.snd_una[i]);
+            sb.retx = sb.retx.split_off(&t.snd_una[i]);
+            t.dupacks[i] = 0;
 
-            match self.state {
-                State::Open => {
-                    for _ in 0..newly {
-                        if self.ccs.in_slow_start() {
-                            self.ccs.cwnd += 1.0;
-                        } else {
-                            self.ccs.cwnd += 1.0 / self.ccs.cwnd;
-                        }
-                    }
-                    let cap = self.cfg.max_window as f64;
-                    if self.ccs.cwnd > cap {
-                        self.ccs.cwnd = cap;
+            if !t.recovery[i] {
+                for _ in 0..newly {
+                    if t.ccs[i].in_slow_start() {
+                        t.ccs[i].cwnd += 1.0;
+                    } else {
+                        t.ccs[i].cwnd += 1.0 / t.ccs[i].cwnd;
                     }
                 }
-                State::Recovery => {
-                    if self.snd_una >= self.high_water {
-                        self.state = State::Open;
-                        self.retx.clear();
-                    }
+                let cap = self.cfg.max_window as f64;
+                if t.ccs[i].cwnd > cap {
+                    t.ccs[i].cwnd = cap;
                 }
+            } else if t.snd_una[i] >= t.high_water[i] {
+                t.recovery[i] = false;
+                t.cold[i].scoreboard.retx.clear();
             }
 
             if let Some(n) = self.flow_size {
-                if self.snd_una >= n {
-                    self.completed = true;
-                    self.rto_gen += 1;
+                if t.snd_una[i] >= n {
+                    t.cold[i].completed = true;
+                    t.rto_gen[i] += 1;
                     out.push(TcpAction::Completed);
                     return;
                 }
             }
-        } else if info.ack == self.snd_una && self.next_seq > self.snd_una {
-            self.stats.dupacks += 1;
-            self.dupacks += 1;
+        } else if info.ack == t.snd_una[i] && t.next_seq[i] > t.snd_una[i] {
+            t.cold[i].stats.dupacks += 1;
+            t.dupacks[i] += 1;
         }
 
         // Loss detection: scoreboard evidence or the plain dupack fallback.
-        if self.state == State::Open
-            && self.next_seq > self.snd_una
-            && !self.sacked.contains(&self.snd_una)
-            && (self.is_lost(self.snd_una) || self.dupacks >= self.cfg.dupack_threshold)
+        if !t.recovery[i]
+            && t.next_seq[i] > t.snd_una[i]
+            && !t.cold[i].scoreboard.sacked.contains(&t.snd_una[i])
+            && (Self::is_lost_in(t, i, t.snd_una[i])
+                || t.dupacks[i] >= self.cfg.dupack_threshold)
         {
-            self.enter_recovery(out);
+            self.enter_recovery(t, out);
         }
 
-        self.send_allowed(out);
+        self.send_allowed(t, out);
         // RFC 6298: restart the retransmission timer only when new data is
         // acknowledged. Re-arming on duplicate ACKs would let a lost
         // retransmission postpone its own RTO indefinitely while other
         // segments keep the ACK clock ticking.
         if advanced {
-            self.arm_rto(out);
+            self.arm_rto(t, out);
         }
     }
 
@@ -310,28 +353,32 @@ impl SackSender {
     /// generations are ignored.
     // simlint: hot-path — once per retransmission timeout
     pub fn on_rto_into(&mut self, _now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
-        if gen != self.rto_gen
-            || self.completed
-            || !self.started
-            || self.snd_una == self.next_seq
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        if gen != t.rto_gen[i]
+            || t.cold[i].completed
+            || !t.cold[i].started
+            || t.snd_una[i] == t.next_seq[i]
         {
             return;
         }
-        self.stats.timeouts += 1;
-        self.rtt.backoff();
-        let flight = (self.next_seq - self.snd_una) as f64;
-        self.ccs.ssthresh = (flight / 2.0).max(2.0);
-        self.ccs.cwnd = 1.0;
-        self.state = State::Open;
-        self.dupacks = 0;
+        t.cold[i].stats.timeouts += 1;
+        t.rtt[i].backoff();
+        let flight = (t.next_seq[i] - t.snd_una[i]) as f64;
+        t.ccs[i].ssthresh = (flight / 2.0).max(2.0);
+        t.ccs[i].cwnd = 1.0;
+        t.recovery[i] = false;
+        t.dupacks[i] = 0;
         // Clear the scoreboard (ns-2 Sack1 semantics: after an RTO the
         // sender no longer trusts it) and go back to snd_una.
-        self.sacked.clear();
-        self.retx.clear();
-        self.high_water = self.high_water.max(self.next_seq);
-        self.next_seq = self.snd_una;
-        self.send_allowed(out);
-        self.arm_rto(out);
+        t.cold[i].scoreboard.sacked.clear();
+        t.cold[i].scoreboard.retx.clear();
+        t.high_water[i] = t.high_water[i].max(t.next_seq[i]);
+        t.next_seq[i] = t.snd_una[i];
+        self.send_allowed(t, out);
+        self.arm_rto(t, out);
     }
 
     /// Vec-returning wrappers over the `*_into` methods (tests/diagnostics).
@@ -374,31 +421,31 @@ impl SenderMachine for SackSender {
     }
 
     fn cwnd(&self) -> f64 {
-        self.ccs.cwnd
+        SackSender::cwnd(self)
     }
     fn ssthresh(&self) -> f64 {
-        self.ccs.ssthresh
+        SackSender::ssthresh(self)
     }
     fn flight(&self) -> u64 {
-        self.next_seq - self.snd_una
+        SackSender::flight(self)
     }
     fn snd_una(&self) -> u64 {
-        self.snd_una
+        SackSender::snd_una(self)
     }
     fn next_seq(&self) -> u64 {
-        self.next_seq
+        SackSender::next_seq(self)
     }
     fn is_completed(&self) -> bool {
-        self.completed
+        SackSender::is_completed(self)
     }
     fn in_recovery(&self) -> bool {
         SackSender::in_recovery(self)
     }
     fn stats(&self) -> SenderStats {
-        self.stats
+        SackSender::stats(self)
     }
-    fn rtt(&self) -> &RttEstimator {
-        &self.rtt
+    fn rtt(&self) -> RttEstimator {
+        SackSender::rtt(self)
     }
     fn name(&self) -> &'static str {
         "sack"
@@ -435,6 +482,13 @@ mod tests {
             ts_echo: SimTime::ZERO,
             sack,
         }
+    }
+
+    fn retx_contains(s: &SackSender, seq: u64) -> bool {
+        s.table.table().cold[s.slot.index()]
+            .scoreboard
+            .retx
+            .contains(&seq)
     }
 
     /// Sender with 10 segments in flight (0..10), acked through 4, cwnd 6.
@@ -497,7 +551,7 @@ mod tests {
         // sacked = {5,7,8}: segment 4 is lost (3 SACKed above it), so
         // recovery was entered and 4 retransmitted immediately.
         assert!(s.in_recovery());
-        assert!(s.retx.contains(&4));
+        assert!(retx_contains(&s, 4));
         // pipe counts the retransmission but not the sacked segments.
         let outstanding = s.next_seq() - s.snd_una();
         assert!(s.pipe() < outstanding);
@@ -519,7 +573,7 @@ mod tests {
         let mut s = grown();
         s.on_ack(t(30), &ack_with_sack(4, &[(5, 9)]));
         assert!(s.sacked_count() > 0);
-        let gen = s.rto_gen;
+        let gen = s.rto_gen();
         let a = s.on_rto(t(1000), gen);
         assert_eq!(s.sacked_count(), 0);
         assert_eq!(s.cwnd(), 1.0);
@@ -575,9 +629,25 @@ mod tests {
     fn stale_rto_ignored() {
         let mut s = SackSender::new(TcpConfig::default(), None);
         s.start(t(0));
-        let old_gen = s.rto_gen;
+        let old_gen = s.rto_gen();
         s.on_ack(t(10), &AckInfo::plain(1, t(0))); // re-arms
         assert!(s.on_rto(t(1000), old_gen).is_empty());
         assert_eq!(s.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn shared_table_sack_and_reno_coexist() {
+        use crate::cc::Reno;
+        use crate::sender::TcpSender;
+        let table = SharedFlowTable::new();
+        let cfg = TcpConfig::default();
+        let mut reno = TcpSender::in_table(&table, cfg, Box::new(Reno), None);
+        let mut sack = SackSender::in_table(&table, cfg, None);
+        reno.start_into(t(0), &mut Vec::new());
+        sack.start(t(0));
+        sack.on_ack(t(10), &AckInfo::plain(2, t(0)));
+        assert_eq!(sack.cwnd(), 4.0);
+        assert_eq!(reno.cwnd(), 2.0, "neighbour flow untouched");
+        assert_eq!(table.len(), 2);
     }
 }

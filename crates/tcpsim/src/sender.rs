@@ -15,10 +15,16 @@
 //! * go-back-N retransmission after a timeout (ns-2 semantics: `t_seqno_`
 //!   falls back to the highest ACK), with exponential RTO backoff;
 //! * RTT sampling from timestamp echoes, so Karn ambiguity never arises.
+//!
+//! Per-flow state lives in a [`FlowTable`]: the
+//! sender itself is a thin view (configuration + a table slot), so
+//! multi-flow workloads sharing one table keep every hot field in dense
+//! parallel arrays (see [`crate::table`]).
 
 use crate::cc::{CcState, CongestionControl, RecoveryStyle};
 use crate::config::TcpConfig;
 use crate::rtt::RttEstimator;
+use crate::table::{FlowSlot, FlowTable, SharedFlowTable};
 use simcore::{SimDuration, SimTime};
 
 /// What the sender wants done, in order.
@@ -71,29 +77,16 @@ pub struct SenderStats {
     pub dupacks: u64,
 }
 
-/// The TCP sender.
+/// The TCP sender: configuration plus a [`FlowTable`] slot holding all
+/// mutable per-flow state.
 #[derive(Debug)]
 pub struct TcpSender {
     cfg: TcpConfig,
     cc: Box<dyn CongestionControl>,
-    ccs: CcState,
     /// Total flow length in segments; `None` = infinite (long-lived) flow.
     flow_size: Option<u64>,
-    /// Next never-before-sent segment.
-    next_seq: u64,
-    /// Oldest unacknowledged segment.
-    snd_una: u64,
-    /// Highest `next_seq` at the moment recovery was entered.
-    high_water: u64,
-    dupacks: u32,
-    /// Window inflation during fast recovery (one segment per dup ACK).
-    inflation: f64,
-    state: SenderState,
-    rtt: RttEstimator,
-    rto_gen: u64,
-    started: bool,
-    completed: bool,
-    stats: SenderStats,
+    table: SharedFlowTable,
+    slot: FlowSlot,
     /// Test-only log of (seq, retransmit) for every Send action.
     #[cfg(any(test, feature = "send-log"))]
     pub send_log: Vec<(u64, bool)>,
@@ -101,28 +94,32 @@ pub struct TcpSender {
 
 impl TcpSender {
     /// Creates a sender for a flow of `flow_size` segments (`None` =
-    /// infinite) using the given congestion control.
+    /// infinite) using the given congestion control. The sender gets a
+    /// private one-slot [`FlowTable`]; multi-flow workloads should share
+    /// one table via [`TcpSender::in_table`].
     pub fn new(cfg: TcpConfig, cc: Box<dyn CongestionControl>, flow_size: Option<u64>) -> Self {
+        Self::in_table(&SharedFlowTable::new(), cfg, cc, flow_size)
+    }
+
+    /// Creates a sender whose state lives in `table` (one slot is
+    /// allocated). Every sender of a simulation should share one table so
+    /// the hot per-flow fields are contiguous.
+    pub fn in_table(
+        table: &SharedFlowTable,
+        cfg: TcpConfig,
+        cc: Box<dyn CongestionControl>,
+        flow_size: Option<u64>,
+    ) -> Self {
         if let Some(n) = flow_size {
             assert!(n > 0, "flow must have at least one segment");
         }
-        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto);
+        let slot = table.alloc(&cfg);
         TcpSender {
-            ccs: CcState::new(cfg.initial_cwnd),
             cfg,
             cc,
             flow_size,
-            next_seq: 0,
-            snd_una: 0,
-            high_water: 0,
-            dupacks: 0,
-            inflation: 0.0,
-            state: SenderState::Open,
-            rtt,
-            rto_gen: 0,
-            started: false,
-            completed: false,
-            stats: SenderStats::default(),
+            table: table.clone(),
+            slot,
             #[cfg(any(test, feature = "send-log"))]
             send_log: Vec::new(),
         }
@@ -132,10 +129,14 @@ impl TcpSender {
     /// Actions are appended to `out` (the agent reuses one scratch buffer
     /// across events, so the per-event hot path performs no allocation).
     pub fn start_into(&mut self, _now: SimTime, out: &mut Vec<TcpAction>) {
-        assert!(!self.started, "start() called twice");
-        self.started = true;
-        self.fill_window(out);
-        self.arm_rto(out);
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        assert!(!t.cold[i].started, "start() called twice");
+        t.cold[i].started = true;
+        self.fill_window(t, out);
+        self.arm_rto(t, out);
     }
 
     /// Convenience wrapper over [`TcpSender::start_into`] returning a fresh
@@ -146,56 +147,80 @@ impl TcpSender {
         out
     }
 
+    fn window_in(&self, t: &FlowTable) -> u64 {
+        let i = self.slot.index();
+        let w = (t.ccs[i].cwnd + t.inflation[i]).min(self.cfg.max_window as f64);
+        w.floor().max(1.0) as u64
+    }
+
+    fn flight_in(&self, t: &FlowTable) -> u64 {
+        let i = self.slot.index();
+        t.next_seq[i] - t.snd_una[i]
+    }
+
     /// Effective send window in whole segments: `min(cwnd + inflation,
     /// max_window)`.
     pub fn window(&self) -> u64 {
-        let w = (self.ccs.cwnd + self.inflation).min(self.cfg.max_window as f64);
-        w.floor().max(1.0) as u64
+        self.window_in(&self.table.table())
     }
 
     /// Outstanding (sent, unacked) segments.
     pub fn flight(&self) -> u64 {
-        self.next_seq - self.snd_una
+        self.flight_in(&self.table.table())
     }
 
     /// The congestion window (segments, fractional).
     pub fn cwnd(&self) -> f64 {
-        self.ccs.cwnd
+        self.table.table().ccs[self.slot.index()].cwnd
     }
 
     /// The slow-start threshold (segments).
     pub fn ssthresh(&self) -> f64 {
-        self.ccs.ssthresh
+        self.table.table().ccs[self.slot.index()].ssthresh
+    }
+
+    /// The congestion-control state pair (diagnostics/tests).
+    pub fn ccs(&self) -> CcState {
+        self.table.table().ccs[self.slot.index()]
     }
 
     /// Current coarse state.
     pub fn state(&self) -> SenderState {
-        self.state
+        if self.table.table().recovery[self.slot.index()] {
+            SenderState::FastRecovery
+        } else {
+            SenderState::Open
+        }
     }
 
     /// True once every segment of a finite flow is acknowledged.
     pub fn is_completed(&self) -> bool {
-        self.completed
+        self.table.table().cold[self.slot.index()].completed
     }
 
     /// Sender counters.
     pub fn stats(&self) -> SenderStats {
-        self.stats
+        self.table.table().cold[self.slot.index()].stats
     }
 
     /// Oldest unacknowledged segment.
     pub fn snd_una(&self) -> u64 {
-        self.snd_una
+        self.table.table().snd_una[self.slot.index()]
     }
 
     /// Next new segment to be sent.
     pub fn next_seq(&self) -> u64 {
-        self.next_seq
+        self.table.table().next_seq[self.slot.index()]
     }
 
-    /// The RTT estimator (for diagnostics).
-    pub fn rtt(&self) -> &RttEstimator {
-        &self.rtt
+    /// The current RTO timer generation (tests).
+    pub fn rto_gen(&self) -> u64 {
+        self.table.table().rto_gen[self.slot.index()]
+    }
+
+    /// A snapshot of the RTT estimator (for diagnostics).
+    pub fn rtt(&self) -> RttEstimator {
+        self.table.table().rtt[self.slot.index()].clone()
     }
 
     /// The congestion-control algorithm name.
@@ -208,13 +233,14 @@ impl TcpSender {
     }
 
     /// Sends as much new data as the window permits.
-    fn fill_window(&mut self, out: &mut Vec<TcpAction>) {
+    fn fill_window(&mut self, t: &mut FlowTable, out: &mut Vec<TcpAction>) {
+        let i = self.slot.index();
         let limit = self.flow_size.unwrap_or(u64::MAX);
-        while self.flight() < self.window() && self.next_seq < limit {
-            let seq = self.next_seq;
+        while self.flight_in(t) < self.window_in(t) && t.next_seq[i] < limit {
+            let seq = t.next_seq[i];
             // A segment below high_water was transmitted before the loss
             // event that set high_water (go-back-N after timeout).
-            let retransmit = seq < self.high_water;
+            let retransmit = seq < t.high_water[i];
             out.push(TcpAction::Send {
                 seq,
                 retransmit,
@@ -222,24 +248,25 @@ impl TcpSender {
             });
             #[cfg(any(test, feature = "send-log"))]
             self.send_log.push((seq, retransmit));
-            self.stats.segments_sent += 1;
+            t.cold[i].stats.segments_sent += 1;
             if retransmit {
-                self.stats.retransmits += 1;
+                t.cold[i].stats.retransmits += 1;
             }
-            self.next_seq += 1;
+            t.next_seq[i] += 1;
         }
     }
 
-    fn arm_rto(&mut self, out: &mut Vec<TcpAction>) {
-        if self.flight() == 0 || self.completed {
+    fn arm_rto(&mut self, t: &mut FlowTable, out: &mut Vec<TcpAction>) {
+        let i = self.slot.index();
+        if self.flight_in(t) == 0 || t.cold[i].completed {
             // Nothing outstanding: let any pending timer go stale.
-            self.rto_gen += 1;
+            t.rto_gen[i] += 1;
             return;
         }
-        self.rto_gen += 1;
+        t.rto_gen[i] += 1;
         out.push(TcpAction::ArmRto {
-            delay: self.rtt.rto(),
-            gen: self.rto_gen,
+            delay: t.rtt[i].rto(),
+            gen: t.rto_gen[i],
         });
     }
 
@@ -253,7 +280,11 @@ impl TcpSender {
         ts_echo: SimTime,
         out: &mut Vec<TcpAction>,
     ) {
-        if self.completed || !self.started {
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        if t.cold[i].completed || !t.cold[i].started {
             return;
         }
         // An ACK for data we never sent is bogus (e.g. a stale ACK from a
@@ -261,111 +292,105 @@ impl TcpSender {
         // drops segments outside the window. After a timeout rewind,
         // next_seq sits below data that is still legitimately in flight, so
         // the bound is the highest sequence ever sent.
-        if ack > self.next_seq.max(self.high_water) {
+        if ack > t.next_seq[i].max(t.high_water[i]) {
             return;
         }
-        self.stats.acks += 1;
+        t.cold[i].stats.acks += 1;
 
         // Timestamp echo gives an unambiguous RTT sample on every ACK.
         if ts_echo <= now {
-            self.rtt.sample(now.since(ts_echo));
+            t.rtt[i].sample(now.since(ts_echo));
         }
 
-        if ack > self.snd_una {
-            let newly = ack - self.snd_una;
-            self.snd_una = ack;
+        if ack > t.snd_una[i] {
+            let newly = ack - t.snd_una[i];
+            t.snd_una[i] = ack;
             // next_seq can only fall behind snd_una after a timeout reset
             // (go-back-N) when an original in-flight segment is acked.
-            if self.next_seq < self.snd_una {
-                self.next_seq = self.snd_una;
+            if t.next_seq[i] < t.snd_una[i] {
+                t.next_seq[i] = t.snd_una[i];
             }
 
-            match self.state {
-                SenderState::FastRecovery => {
-                    let full = ack >= self.high_water;
-                    let newreno = self.cc.style() == RecoveryStyle::NewReno;
-                    if full || !newreno {
-                        // Exit recovery: deflate to ssthresh.
-                        self.state = SenderState::Open;
-                        self.inflation = 0.0;
-                        self.dupacks = 0;
-                        self.ccs.cwnd = self.ccs.cwnd.min(self.ccs.ssthresh);
-                    } else {
-                        // NewReno partial ACK: retransmit the next hole,
-                        // deflate inflation by the data acked, stay in
-                        // recovery.
-                        self.inflation = (self.inflation - newly as f64).max(0.0) + 1.0;
-                        out.push(TcpAction::Send {
-                            seq: self.snd_una,
-                            retransmit: true,
-                            fin: self.is_fin(self.snd_una),
-                        });
-                        #[cfg(any(test, feature = "send-log"))]
-                        self.send_log.push((self.snd_una, true));
-                        self.stats.segments_sent += 1;
-                        self.stats.retransmits += 1;
-                    }
+            if t.recovery[i] {
+                let full = ack >= t.high_water[i];
+                let newreno = self.cc.style() == RecoveryStyle::NewReno;
+                if full || !newreno {
+                    // Exit recovery: deflate to ssthresh.
+                    t.recovery[i] = false;
+                    t.inflation[i] = 0.0;
+                    t.dupacks[i] = 0;
+                    t.ccs[i].cwnd = t.ccs[i].cwnd.min(t.ccs[i].ssthresh);
+                } else {
+                    // NewReno partial ACK: retransmit the next hole,
+                    // deflate inflation by the data acked, stay in
+                    // recovery.
+                    t.inflation[i] = (t.inflation[i] - newly as f64).max(0.0) + 1.0;
+                    out.push(TcpAction::Send {
+                        seq: t.snd_una[i],
+                        retransmit: true,
+                        fin: self.is_fin(t.snd_una[i]),
+                    });
+                    #[cfg(any(test, feature = "send-log"))]
+                    self.send_log.push((t.snd_una[i], true));
+                    t.cold[i].stats.segments_sent += 1;
+                    t.cold[i].stats.retransmits += 1;
                 }
-                SenderState::Open => {
-                    self.dupacks = 0;
-                    for _ in 0..newly {
-                        self.cc.on_ack_segment(&mut self.ccs);
-                    }
-                    // rwnd clamp (ns-2 does the same): there is no point
-                    // growing cwnd beyond what the receiver window allows.
-                    let cap = self.cfg.max_window as f64;
-                    if self.ccs.cwnd > cap {
-                        self.ccs.cwnd = cap;
-                    }
+            } else {
+                t.dupacks[i] = 0;
+                for _ in 0..newly {
+                    self.cc.on_ack_segment(&mut t.ccs[i]);
+                }
+                // rwnd clamp (ns-2 does the same): there is no point
+                // growing cwnd beyond what the receiver window allows.
+                let cap = self.cfg.max_window as f64;
+                if t.ccs[i].cwnd > cap {
+                    t.ccs[i].cwnd = cap;
                 }
             }
 
             // Completion check before sending more.
             if let Some(n) = self.flow_size {
-                if self.snd_una >= n {
-                    self.completed = true;
-                    self.rto_gen += 1; // kill pending timer
+                if t.snd_una[i] >= n {
+                    t.cold[i].completed = true;
+                    t.rto_gen[i] += 1; // kill pending timer
                     out.push(TcpAction::Completed);
                     return;
                 }
             }
 
-            self.fill_window(out);
-            self.arm_rto(out);
-        } else if ack == self.snd_una && self.flight() > 0 {
+            self.fill_window(t, out);
+            self.arm_rto(t, out);
+        } else if ack == t.snd_una[i] && self.flight_in(t) > 0 {
             // Duplicate ACK.
-            self.stats.dupacks += 1;
-            match self.state {
-                SenderState::Open => {
-                    self.dupacks += 1;
-                    if self.dupacks == self.cfg.dupack_threshold {
-                        // Fast retransmit + enter fast recovery. high_water
-                        // only moves forward: after a timeout rewind,
-                        // next_seq may sit below data that was already sent
-                        // once, and those segments must stay classified as
-                        // retransmissions (RFC 6582 also keeps `recover` at
-                        // the highest sequence ever sent).
-                        self.stats.fast_retransmits += 1;
-                        self.high_water = self.high_water.max(self.next_seq);
-                        let flight = self.flight() as f64;
-                        self.cc.on_fast_retransmit(&mut self.ccs, flight);
-                        self.inflation = self.cfg.dupack_threshold as f64;
-                        self.state = SenderState::FastRecovery;
-                        out.push(TcpAction::Send {
-                            seq: self.snd_una,
-                            retransmit: true,
-                            fin: self.is_fin(self.snd_una),
-                        });
-                        self.stats.segments_sent += 1;
-                        self.stats.retransmits += 1;
-                        self.arm_rto(out);
-                    }
+            t.cold[i].stats.dupacks += 1;
+            if !t.recovery[i] {
+                t.dupacks[i] += 1;
+                if t.dupacks[i] == self.cfg.dupack_threshold {
+                    // Fast retransmit + enter fast recovery. high_water
+                    // only moves forward: after a timeout rewind,
+                    // next_seq may sit below data that was already sent
+                    // once, and those segments must stay classified as
+                    // retransmissions (RFC 6582 also keeps `recover` at
+                    // the highest sequence ever sent).
+                    t.cold[i].stats.fast_retransmits += 1;
+                    t.high_water[i] = t.high_water[i].max(t.next_seq[i]);
+                    let flight = self.flight_in(t) as f64;
+                    self.cc.on_fast_retransmit(&mut t.ccs[i], flight);
+                    t.inflation[i] = self.cfg.dupack_threshold as f64;
+                    t.recovery[i] = true;
+                    out.push(TcpAction::Send {
+                        seq: t.snd_una[i],
+                        retransmit: true,
+                        fin: self.is_fin(t.snd_una[i]),
+                    });
+                    t.cold[i].stats.segments_sent += 1;
+                    t.cold[i].stats.retransmits += 1;
+                    self.arm_rto(t, out);
                 }
-                SenderState::FastRecovery => {
-                    // Window inflation lets new data trickle out.
-                    self.inflation += 1.0;
-                    self.fill_window(out);
-                }
+            } else {
+                // Window inflation lets new data trickle out.
+                t.inflation[i] += 1.0;
+                self.fill_window(t, out);
             }
         }
         // Old ACK (< snd_una): ignore.
@@ -383,22 +408,30 @@ impl TcpSender {
     /// Stale generations are ignored. Actions are appended to `out`.
     // simlint: hot-path — once per retransmission timeout
     pub fn on_rto_into(&mut self, _now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
-        if gen != self.rto_gen || self.completed || !self.started || self.flight() == 0 {
+        let table = self.table.clone();
+        let mut tb = table.table_mut();
+        let t = &mut *tb;
+        let i = self.slot.index();
+        if gen != t.rto_gen[i]
+            || t.cold[i].completed
+            || !t.cold[i].started
+            || self.flight_in(t) == 0
+        {
             return;
         }
-        self.stats.timeouts += 1;
-        self.rtt.backoff();
-        let flight = self.flight() as f64;
-        self.cc.on_timeout(&mut self.ccs, flight);
-        self.state = SenderState::Open;
-        self.dupacks = 0;
-        self.inflation = 0.0;
+        t.cold[i].stats.timeouts += 1;
+        t.rtt[i].backoff();
+        let flight = self.flight_in(t) as f64;
+        self.cc.on_timeout(&mut t.ccs[i], flight);
+        t.recovery[i] = false;
+        t.dupacks[i] = 0;
+        t.inflation[i] = 0.0;
         // Go-back-N (ns-2 semantics): rewind to the oldest unacked segment;
         // everything beyond it will be resent as the window re-opens.
-        self.high_water = self.high_water.max(self.next_seq);
-        self.next_seq = self.snd_una;
-        self.fill_window(out);
-        self.arm_rto(out);
+        t.high_water[i] = t.high_water[i].max(t.next_seq[i]);
+        t.next_seq[i] = t.snd_una[i];
+        self.fill_window(t, out);
+        self.arm_rto(t, out);
     }
 
     /// Convenience wrapper over [`TcpSender::on_rto_into`] returning a fresh
@@ -529,7 +562,7 @@ mod tests {
             s.on_ack(t(30 + i), 4, t(20));
         }
         assert_eq!(s.state(), SenderState::FastRecovery);
-        assert_eq!(s.high_water, 10);
+        assert_eq!(s.next_seq(), 10);
         // Partial ACK to 6 (<10): retransmit 6, stay in recovery. The
         // deflated-then-reinflated window may also release new data after
         // the retransmission (RFC 6582 §3.2 step 5 permits this).
@@ -647,7 +680,7 @@ mod tests {
         s.on_ack(t(10), 2, t(0));
         assert_eq!(s.cwnd(), 8.0);
         // Trigger a timeout.
-        let gen = s.rto_gen;
+        let gen = s.rto_gen();
         s.on_rto(t(5000), gen);
         assert_eq!(s.cwnd(), 8.0);
     }
@@ -704,11 +737,37 @@ mod tests {
         }
         s.on_ack(t(50), 10, t(30)); // exit recovery, cwnd = ssthresh = 3
         assert_eq!(s.cwnd(), 3.0);
-        assert!(!s.ccs.in_slow_start());
+        assert!(!s.ccs().in_slow_start());
         // Next RTT of ACKs: congestion avoidance, +1/cwnd each.
         let cwnd0 = s.cwnd();
         s.on_ack(t(60), 11, t(50));
         assert!(s.cwnd() > cwnd0 && s.cwnd() < cwnd0 + 1.0);
+    }
+
+    #[test]
+    fn shared_table_keeps_flows_independent() {
+        // Two senders in one table must not interfere: identical inputs
+        // produce identical trajectories regardless of neighbours.
+        let table = SharedFlowTable::new();
+        let cfg = TcpConfig::default();
+        let mut a = TcpSender::in_table(&table, cfg, Box::new(Reno), None);
+        let mut b = TcpSender::in_table(&table, cfg, Box::new(Reno), None);
+        let mut solo = TcpSender::new(cfg, Box::new(Reno), None);
+        for s in [&mut a, &mut b, &mut solo] {
+            s.start(t(0));
+            s.on_ack(t(10), 2, t(0));
+            s.on_ack(t(20), 4, t(10));
+        }
+        // Perturb b only.
+        for i in 0..3 {
+            b.on_ack(t(30 + i), 4, t(20));
+        }
+        assert_eq!(b.state(), SenderState::FastRecovery);
+        assert_eq!(a.state(), SenderState::Open);
+        assert_eq!(a.cwnd(), solo.cwnd());
+        assert_eq!(a.snd_una(), solo.snd_una());
+        assert_eq!(a.stats(), solo.stats());
+        assert_eq!(table.len(), 2);
     }
 }
 
@@ -746,7 +805,7 @@ mod edge_case_tests {
         let mut s = grown(Box::new(Reno));
         // Repeated timeouts with backoff.
         for i in 0..10 {
-            let gen = s.rto_gen;
+            let gen = s.rto_gen();
             s.on_rto(t(1000 * (i + 1)), gen);
             assert!(s.cwnd() >= 1.0);
             assert!(s.window() >= 1);
@@ -851,7 +910,7 @@ mod edge_case_tests {
                 _ => None,
             })
             .unwrap();
-        let a1 = s.on_rto(t(1000), s.rto_gen);
+        let a1 = s.on_rto(t(1000), s.rto_gen());
         let d1 = a1
             .iter()
             .find_map(|a| match a {

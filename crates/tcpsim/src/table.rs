@@ -1,0 +1,234 @@
+//! Struct-of-arrays storage for per-flow TCP sender state.
+//!
+//! Historically every flow carried its hot state inside its own boxed
+//! [`TcpSender`](crate::sender::TcpSender)/[`SackSender`](crate::sack::SackSender),
+//! so a sweep over `n` flows chased `n` scattered heap allocations on every
+//! ACK. [`FlowTable`] flips the layout: the fields the per-ACK path touches
+//! — congestion window pair, sequence cursors, recovery state, RTO/RTT
+//! estimator — live in dense parallel arrays keyed by a slab [`FlowSlot`],
+//! while the rarely-touched cold state (lifecycle flags, counters, the SACK
+//! scoreboard sets) sits in a side table indexed by the same slot.
+//!
+//! The sender state machines become thin views: they hold a
+//! [`SharedFlowTable`] handle plus their slot and run the exact same
+//! arithmetic against the arrays. Single-flow users (unit tests, ad-hoc
+//! diagnostics) never see the difference — `TcpSender::new` allocates a
+//! private one-slot table — while multi-flow workloads pass one shared
+//! table to every source so all hot flow state is contiguous.
+//!
+//! This is a pure storage refactor: field-for-field the same values, the
+//! same operations in the same order, so every simulation result and
+//! committed artifact digest is byte-identical to the boxed layout.
+
+use crate::cc::CcState;
+use crate::config::TcpConfig;
+use crate::rtt::RttEstimator;
+use crate::sender::SenderStats;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Slab index of one flow's state in a [`FlowTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlowSlot(pub u32);
+
+impl FlowSlot {
+    /// The raw array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// SACK scoreboard for one flow (side table: only SACK senders touch it,
+/// and only while holes exist).
+#[derive(Debug, Default)]
+pub struct Scoreboard {
+    /// Segments above `snd_una` known received (RFC 3517 scoreboard).
+    pub sacked: BTreeSet<u64>,
+    /// Segments retransmitted during the current recovery episode.
+    pub retx: BTreeSet<u64>,
+}
+
+/// Cold per-flow state: touched once per lifecycle transition or read only
+/// by diagnostics, so it stays out of the hot arrays.
+#[derive(Debug, Default)]
+pub struct ColdFlow {
+    /// `start()` has been called.
+    pub started: bool,
+    /// Every segment of a finite flow has been acknowledged.
+    pub completed: bool,
+    /// Sender counters.
+    pub stats: SenderStats,
+    /// SACK scoreboard (empty and untouched for Reno-family senders).
+    pub scoreboard: Scoreboard,
+}
+
+/// Dense parallel arrays of hot per-flow sender state.
+///
+/// Fields are `pub(crate)`: the sender state machines index them directly
+/// (`table.ccs[i].cwnd`, …) so the per-ACK path is array arithmetic, not
+/// accessor calls.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    /// Congestion window / slow-start threshold pair (the unit every
+    /// [`CongestionControl`](crate::cc::CongestionControl) mutates).
+    pub(crate) ccs: Vec<CcState>,
+    /// Next never-before-sent segment.
+    pub(crate) next_seq: Vec<u64>,
+    /// Oldest unacknowledged segment.
+    pub(crate) snd_una: Vec<u64>,
+    /// Recovery point (highest `next_seq` when recovery was entered).
+    pub(crate) high_water: Vec<u64>,
+    /// Highest sequence ever sent + 1 (SACK senders; never rewinds).
+    pub(crate) max_sent: Vec<u64>,
+    /// Consecutive duplicate-ACK count.
+    pub(crate) dupacks: Vec<u32>,
+    /// Window inflation during Reno fast recovery.
+    pub(crate) inflation: Vec<f64>,
+    /// True while in loss recovery (Reno fast recovery, SACK recovery).
+    pub(crate) recovery: Vec<bool>,
+    /// RTO timer generation (stale-timer rejection).
+    pub(crate) rto_gen: Vec<u64>,
+    /// RTT estimator + RTO backoff state.
+    pub(crate) rtt: Vec<RttEstimator>,
+    /// Cold side table, same slot indexing.
+    pub(crate) cold: Vec<ColdFlow>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Allocates a slot initialised from `cfg` (initial cwnd, RTO bounds).
+    pub fn alloc(&mut self, cfg: &TcpConfig) -> FlowSlot {
+        let slot = FlowSlot(self.ccs.len() as u32);
+        self.ccs.push(CcState::new(cfg.initial_cwnd));
+        self.next_seq.push(0);
+        self.snd_una.push(0);
+        self.high_water.push(0);
+        self.max_sent.push(0);
+        self.dupacks.push(0);
+        self.inflation.push(0.0);
+        self.recovery.push(false);
+        self.rto_gen.push(0);
+        self.rtt
+            .push(RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto));
+        self.cold.push(ColdFlow::default());
+        slot
+    }
+
+    /// Number of allocated slots. Slots are never freed, so this is also
+    /// the table's high-water mark (reported by the self-profiler).
+    pub fn len(&self) -> usize {
+        self.ccs.len()
+    }
+
+    /// True if no flow has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.ccs.is_empty()
+    }
+
+    /// Congestion window of `slot`, in segments.
+    pub fn cwnd(&self, slot: FlowSlot) -> f64 {
+        self.ccs[slot.index()].cwnd
+    }
+
+    /// Slow-start threshold of `slot`, in segments.
+    pub fn ssthresh(&self, slot: FlowSlot) -> f64 {
+        self.ccs[slot.index()].ssthresh
+    }
+
+    /// Outstanding (sent, unacked) segments of `slot`.
+    pub fn flight(&self, slot: FlowSlot) -> u64 {
+        self.next_seq[slot.index()] - self.snd_una[slot.index()]
+    }
+}
+
+/// A [`FlowTable`] shared by every sender of one simulation.
+///
+/// Simulations are single-threaded, so plain `Rc<RefCell<…>>` suffices;
+/// each event entry point borrows the table once for its whole callback.
+#[derive(Clone, Debug, Default)]
+pub struct SharedFlowTable(Rc<RefCell<FlowTable>>);
+
+impl SharedFlowTable {
+    /// Creates an empty shared table.
+    pub fn new() -> Self {
+        SharedFlowTable::default()
+    }
+
+    /// Reserves room for `additional` more flows in every parallel array
+    /// (a pure performance hint for workloads that know their flow count).
+    pub fn reserve(&self, additional: usize) {
+        let mut t = self.0.borrow_mut();
+        t.ccs.reserve(additional);
+        t.next_seq.reserve(additional);
+        t.snd_una.reserve(additional);
+        t.high_water.reserve(additional);
+        t.max_sent.reserve(additional);
+        t.dupacks.reserve(additional);
+        t.inflation.reserve(additional);
+        t.recovery.reserve(additional);
+        t.rto_gen.reserve(additional);
+        t.rtt.reserve(additional);
+        t.cold.reserve(additional);
+    }
+
+    /// Allocates a slot (see [`FlowTable::alloc`]).
+    pub fn alloc(&self, cfg: &TcpConfig) -> FlowSlot {
+        self.0.borrow_mut().alloc(cfg)
+    }
+
+    /// Immutable borrow of the table.
+    pub fn table(&self) -> std::cell::Ref<'_, FlowTable> {
+        self.0.borrow()
+    }
+
+    /// Mutable borrow of the table.
+    pub fn table_mut(&self) -> std::cell::RefMut<'_, FlowTable> {
+        self.0.borrow_mut()
+    }
+
+    /// Number of allocated slots (the table's high-water mark).
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True if no flow has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_dense_slots() {
+        let t = SharedFlowTable::new();
+        let cfg = TcpConfig::default();
+        let a = t.alloc(&cfg);
+        let b = t.alloc(&cfg);
+        assert_eq!(a, FlowSlot(0));
+        assert_eq!(b, FlowSlot(1));
+        assert_eq!(t.len(), 2);
+        let tb = t.table();
+        assert_eq!(tb.cwnd(a), cfg.initial_cwnd);
+        assert!(tb.ssthresh(a).is_infinite());
+        assert_eq!(tb.flight(b), 0);
+    }
+
+    #[test]
+    fn shared_handle_aliases_one_table() {
+        let t = SharedFlowTable::new();
+        let t2 = t.clone();
+        let slot = t.alloc(&TcpConfig::default());
+        t2.table_mut().ccs[slot.index()].cwnd = 9.0;
+        assert_eq!(t.table().cwnd(slot), 9.0);
+        assert_eq!(t2.len(), 1);
+    }
+}

@@ -3,7 +3,7 @@
 //! generators (`simcore::Rng`).
 
 use simcore::{Rng, SimTime};
-use tcpsim::machine::{AckInfo, SenderMachine};
+use tcpsim::machine::AckInfo;
 use tcpsim::receiver::SackRanges;
 use tcpsim::sack::SackSender;
 use tcpsim::sender::TcpAction;

@@ -10,7 +10,9 @@ use crate::workload::FlowHandle;
 use netsim::{DumbbellView, FlowId, Sim};
 use simcore::{Rng, SimDuration};
 use tcpsim::cc::{CongestionControl, Cubic, NewReno, Reno};
-use tcpsim::{SackSender, SenderMachine, TcpConfig, TcpSender, TcpSink, TcpSource};
+use tcpsim::{
+    SackSender, SenderMachine, SharedFlowTable, TcpConfig, TcpSender, TcpSink, TcpSource,
+};
 
 /// Which congestion control the generated flows use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,11 +43,24 @@ impl CcKind {
         }
     }
 
-    /// Builds a complete sender machine of this kind.
+    /// Builds a complete sender machine of this kind with a private
+    /// one-slot flow table.
     pub fn make_machine(self, cfg: TcpConfig, flow_size: Option<u64>) -> Box<dyn SenderMachine> {
+        self.make_machine_in(&SharedFlowTable::new(), cfg, flow_size)
+    }
+
+    /// Builds a complete sender machine whose per-flow state lives in
+    /// `table`, so all flows of one simulation share dense arrays (see
+    /// [`tcpsim::table`]).
+    pub fn make_machine_in(
+        self,
+        table: &SharedFlowTable,
+        cfg: TcpConfig,
+        flow_size: Option<u64>,
+    ) -> Box<dyn SenderMachine> {
         match self {
-            CcKind::Sack => Box::new(SackSender::new(cfg, flow_size)),
-            other => Box::new(TcpSender::new(cfg, other.build(), flow_size)),
+            CcKind::Sack => Box::new(SackSender::in_table(table, cfg, flow_size)),
+            other => Box::new(TcpSender::in_table(table, cfg, other.build(), flow_size)),
         }
     }
 }
@@ -84,13 +99,29 @@ impl Default for BulkWorkload {
 impl BulkWorkload {
     /// Installs one long-lived flow per dumbbell host pair. Flow ids are
     /// `first_flow .. first_flow + n`. Accepts a whole `&Dumbbell` or a
-    /// borrowed [`DumbbellView`] of some of its pairs.
+    /// borrowed [`DumbbellView`] of some of its pairs. All flows share one
+    /// fresh flow table; use [`BulkWorkload::install_in`] to provide it.
     pub fn install<'a>(
         &self,
         sim: &mut Sim,
         dumbbell: impl Into<DumbbellView<'a>>,
         first_flow: u32,
         rng: &mut Rng,
+    ) -> Vec<FlowHandle> {
+        self.install_in(sim, dumbbell, first_flow, rng, &SharedFlowTable::new())
+    }
+
+    /// Like [`BulkWorkload::install`], but per-flow sender state is
+    /// allocated in the caller's `table` (one slot per flow), so the
+    /// caller can share one table across workloads and read its
+    /// high-water mark afterwards.
+    pub fn install_in<'a>(
+        &self,
+        sim: &mut Sim,
+        dumbbell: impl Into<DumbbellView<'a>>,
+        first_flow: u32,
+        rng: &mut Rng,
+        table: &SharedFlowTable,
     ) -> Vec<FlowHandle> {
         let dumbbell = dumbbell.into();
         let mut handles = Vec::with_capacity(dumbbell.n_flows());
@@ -101,7 +132,7 @@ impl BulkWorkload {
             let start = SimDuration::from_nanos(
                 rng.u64_below(self.start_window.as_nanos().max(1)),
             );
-            let machine = self.cc.make_machine(self.cfg, None);
+            let machine = self.cc.make_machine_in(table, self.cfg, None);
             let mut source = TcpSource::with_machine(flow, sink_node, self.cfg, machine)
                 .with_start_delay(start);
             if self.trace_cwnd {

@@ -11,7 +11,7 @@ use netsim::{DumbbellView, FlowId, Sim};
 use simcore::dist::Sample;
 use simcore::{Exponential, Pareto, Rng, SimDuration};
 use tcpsim::cc::Reno;
-use tcpsim::{TcpConfig, TcpSink, TcpSource};
+use tcpsim::{SharedFlowTable, TcpConfig, TcpSender, TcpSink, TcpSource};
 
 /// Flow-length distribution, in segments.
 #[derive(Clone, Debug)]
@@ -108,6 +108,21 @@ impl ShortFlowWorkload {
         first_flow: u32,
         rng: &mut Rng,
     ) -> Vec<FlowHandle> {
+        self.install_in(sim, dumbbell, first_flow, rng, &SharedFlowTable::new())
+    }
+
+    /// Like [`ShortFlowWorkload::install`], but per-flow sender state is
+    /// allocated in the caller's `table` (one slot per flow), so the
+    /// caller can share one table across workloads and read its
+    /// high-water mark afterwards.
+    pub fn install_in<'a>(
+        &self,
+        sim: &mut Sim,
+        dumbbell: impl Into<DumbbellView<'a>>,
+        first_flow: u32,
+        rng: &mut Rng,
+        table: &SharedFlowTable,
+    ) -> Vec<FlowHandle> {
         let dumbbell = dumbbell.into();
         assert!(self.arrival_rate > 0.0);
         let gap = Exponential::new(self.arrival_rate);
@@ -125,7 +140,8 @@ impl ShortFlowWorkload {
             let flow = FlowId(first_flow + i);
             let src_node = dumbbell.sources[pair];
             let sink_node = dumbbell.sinks[pair];
-            let source = TcpSource::new(flow, sink_node, self.cfg, Box::new(Reno), Some(len))
+            let sender = TcpSender::in_table(table, self.cfg, Box::new(Reno), Some(len));
+            let source = TcpSource::with_machine(flow, sink_node, self.cfg, Box::new(sender))
                 .with_start_delay(SimDuration::from_secs_f64(t));
             let source_id = sim.add_agent(src_node, Box::new(source));
             let sink_id = sim.add_agent(sink_node, Box::new(TcpSink::new(flow, &self.cfg)));

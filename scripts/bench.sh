@@ -22,4 +22,39 @@ cargo build --release -p bench
 echo "==> bench_sweep --repro --jobs ${JOBS}"
 ./target/release/bench_sweep --repro --jobs "${JOBS}" --out artifacts/BENCH_sweep.json
 
+echo "==> repro_quick wall-time regression gate (fresh vs committed, +20% budget)"
+# The fresh baseline must not be more than 20% slower than the committed
+# one: a regeneration that silently banks a slowdown is how perf erodes.
+# Genuine machine changes that trip this need an explicit human decision
+# (commit the slower baseline together with an explanation).
+python3 - <<'EOF'
+import json, subprocess, sys
+
+def wall(doc):
+    for s in doc["sections"]:
+        if s["name"] == "repro_quick":
+            for x in s["samples"]:
+                if x["jobs"] == 1:
+                    return x["wall_s"]
+    return None
+
+fresh = wall(json.load(open("artifacts/BENCH_sweep.json")))
+try:
+    committed_doc = subprocess.run(
+        ["git", "show", "HEAD:artifacts/BENCH_sweep.json"],
+        capture_output=True, text=True, check=True).stdout
+except subprocess.CalledProcessError:
+    print("no committed baseline at HEAD; skipping regression gate")
+    sys.exit(0)
+committed = wall(json.loads(committed_doc))
+if fresh is None or committed is None:
+    print("repro_quick jobs=1 sample missing; skipping regression gate")
+    sys.exit(0)
+limit = committed * 1.20
+assert fresh <= limit, (
+    f"repro --quick --jobs 1 regressed: fresh {fresh:.3f} s vs committed "
+    f"{committed:.3f} s (limit {limit:.3f} s = +20%)")
+print(f"repro_quick wall {fresh:.3f} s vs committed {committed:.3f} s - within +20%")
+EOF
+
 echo "==> baseline written to artifacts/BENCH_sweep.json"

@@ -1,0 +1,153 @@
+//! Tier-1 contract tests for the observer-specialized event loop, the
+//! digest-only packet log, and the cross-cell probe cache.
+//!
+//! The kernel dispatches through a const-generic fast path when no observer
+//! (packet log, auditor, forensics, profiler) is attached; these tests pin
+//! the contract that specialization, digest-only logging, and probe caching
+//! are all invisible in every observable result.
+
+use buffersizing::figures::min_buffer::MinBufferConfig;
+use buffersizing::prelude::*;
+use buffersizing::{min_buffer_for, probe_cache};
+use netsim::{DumbbellBuilder, ForensicsConfig, Sim, TelemetryConfig};
+use simcore::Rng;
+use traffic::BulkWorkload;
+
+fn masked(r: &LongFlowResult) -> LongFlowResult {
+    let mut m = r.clone();
+    m.telemetry_digest = None;
+    m.forensics_digest = None;
+    m.span_digest = None;
+    m.profile = None;
+    m
+}
+
+/// The uninstrumented fast path and the fully instrumented path must agree
+/// on every result field, at both single-flow (Figure 3) and sweep-cell
+/// (Figure 7) scale.
+#[test]
+fn fast_path_and_instrumented_results_are_identical() {
+    for (n, rate) in [(1usize, 10_000_000u64), (10, 30_000_000)] {
+        let mut sc = LongFlowScenario::quick(n, rate);
+        sc.warmup = SimDuration::from_secs(4);
+        sc.measure = SimDuration::from_secs(10);
+        sc.buffer_pkts = 40;
+        let fast = sc.run(); // no observers: specialized loop
+
+        let mut full = sc.clone();
+        full.telemetry = Some(TelemetryConfig::new(SimDuration::from_millis(50)));
+        full.forensics = Some(ForensicsConfig::new(full.mean_rtt()));
+        full.span_capacity = Some(4096);
+        full.profiler = true;
+        let instrumented = full.run();
+
+        assert!(instrumented.telemetry_digest.is_some());
+        assert!(instrumented.forensics_digest.is_some());
+        assert!(instrumented.span_digest.is_some());
+        let profile = instrumented.profile.as_ref().expect("profiler enabled");
+        let (arena_hwm, flow_hwm) = profile.state_high_water();
+        assert!(arena_hwm > 0, "arena high-water mark not recorded");
+        assert_eq!(flow_hwm, n as u64, "flow-table high-water mark");
+
+        assert_eq!(masked(&instrumented), fast, "n = {n}");
+    }
+}
+
+fn logged_run(capacity: usize, digest_only: bool) -> (u64, u64, u64) {
+    let mut sim = Sim::new(7);
+    if digest_only {
+        sim.enable_packet_digest(capacity);
+    } else {
+        sim.enable_packet_log(capacity);
+    }
+    let d = DumbbellBuilder::new(20_000_000, SimDuration::from_millis(5))
+        .buffer_packets(50)
+        .flows(4, SimDuration::from_millis(20))
+        .build(&mut sim);
+    let mut rng = Rng::new(1);
+    let wl = BulkWorkload::default();
+    let handles = wl.install(&mut sim, &d, 0, &mut rng);
+    sim.start();
+    sim.run_until(SimTime::from_secs(15));
+    let log = sim.kernel().packet_log().expect("log enabled");
+    assert_eq!(log.is_digest_only(), digest_only);
+    if digest_only {
+        assert!(log.records().is_empty(), "digest-only mode must not store");
+    } else {
+        assert!(!log.records().is_empty());
+    }
+    let delivered: u64 = handles
+        .iter()
+        .map(|h| {
+            sim.agent_as::<tcpsim::TcpSink>(h.sink)
+                .unwrap()
+                .receiver()
+                .delivered()
+        })
+        .sum();
+    (log.digest(), log.overflowed, delivered)
+}
+
+/// The digest-only packet log folds the same FNV-1a digest as the stored
+/// log, both under and over capacity (where both modes stop folding at the
+/// same record and count the same overflow).
+#[test]
+fn digest_only_log_matches_stored_log() {
+    for capacity in [1_000_000usize, 2_000] {
+        let stored = logged_run(capacity, false);
+        let digest_only = logged_run(capacity, true);
+        assert_eq!(stored, digest_only, "capacity = {capacity}");
+    }
+    // The small capacity actually overflowed, so the equality above covered
+    // the truncation path too.
+    assert!(logged_run(2_000, true).1 > 0, "expected overflow at cap 2000");
+}
+
+/// A sweep served from the probe cache replays byte-identical search
+/// traces and figure points.
+#[test]
+fn cached_and_fresh_sweeps_are_identical() {
+    probe_cache::reset();
+
+    // Direct bisection: the full (buffer, metric, ok) trace must match.
+    let mut sc = LongFlowScenario::quick(6, 10_000_000);
+    sc.warmup = SimDuration::from_secs(3);
+    sc.measure = SimDuration::from_secs(6);
+    let trace = |_| {
+        min_buffer_for(
+            40,
+            |b| {
+                let mut s = sc.clone();
+                s.buffer_pkts = b;
+                probe_cache::run_cached(&s).utilization
+            },
+            |u| u >= 0.95,
+        )
+    };
+    let cold = trace(());
+    let (h0, m0) = probe_cache::stats();
+    assert_eq!(h0, 0);
+    assert!(m0 > 0);
+    let warm = trace(());
+    let (h1, m1) = probe_cache::stats();
+    assert_eq!(m1, m0, "warm bisection must not simulate");
+    assert_eq!(h1, m0, "every warm probe is a hit");
+    assert_eq!(cold.buffer_pkts, warm.buffer_pkts);
+    assert_eq!(cold.evaluations, warm.evaluations);
+
+    // Whole Figure 7 sweep: cold vs warm points agree exactly.
+    probe_cache::reset();
+    let cfg = MinBufferConfig::quick();
+    let first = cfg.run();
+    let (_, misses) = probe_cache::stats();
+    assert!(misses > 0);
+    let second = cfg.run();
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.measured_pkts, b.measured_pkts);
+        assert_eq!(a.sqrt_n_rule_pkts, b.sqrt_n_rule_pkts);
+        assert_eq!(a.model_pkts, b.model_pkts);
+    }
+}
