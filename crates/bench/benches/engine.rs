@@ -72,6 +72,7 @@ fn bench_droptail() {
                 pref: PacketRef(i),
                 flow: FlowId(0),
                 size: 1000,
+                ect: false,
             };
             let _ = q.enqueue(pkt, SimTime::ZERO, &mut rng);
         }

@@ -1,0 +1,47 @@
+//! Extension experiment: the congestion-control zoo. Re-runs the Figure 7
+//! minimum-buffer bisection once per congestion-control variant — Reno,
+//! NewReno, CUBIC, paced Reno, and DCTCP over a CE-marking bottleneck —
+//! and compares each measured minimum against `RTT̄·C/√n`.
+//! `--jobs N` parallelizes the sweep (default: all cores; results are
+//! identical at any jobs level).
+use buffersizing::figures::cca_sweep::{render, to_table, CcaSweepConfig};
+use buffersizing::{Executor, Json, RunManifest};
+
+fn main() {
+    let quick = bench::quick_flag();
+    bench::preamble("CCA zoo (per-CCA min buffer vs sqrt(n))", quick);
+    let cfg = if quick {
+        CcaSweepConfig::quick()
+    } else {
+        CcaSweepConfig::full()
+    };
+    let pts = cfg.run_with(&Executor::new(bench::jobs_flag()));
+    println!("{}", render(&pts));
+    println!(
+        "(DCTCP probes run with step marking at RTT*C/7 packets, RFC 8257's \
+         provisioning guidance; its backoff reacts to CE marks before the \
+         queue ever overflows)"
+    );
+    if let Some(path) = bench::csv_flag() {
+        bench::write_csv(&path, &to_table(&pts).to_csv());
+    }
+    let labels: Vec<&str> = cfg.variants.iter().map(|v| v.label).collect();
+    let manifest = RunManifest::new("ext_cca", quick, cfg.base.seed)
+        .param("variants", format!("{labels:?}"))
+        .param("flow_counts", format!("{:?}", cfg.flow_counts))
+        .param("target", cfg.target);
+    let rows = pts
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .with("cca", Json::Str(p.label.to_string()))
+                .with("n", Json::Num(p.n as f64))
+                .with("target", Json::Num(p.target))
+                .with("measured_pkts", Json::Num(p.measured_pkts as f64))
+                .with("rule_pkts", Json::Num(p.sqrt_n_rule_pkts))
+                .with("utilization", Json::Num(p.utilization))
+                .with("marks", Json::Num(p.marks as f64))
+        })
+        .collect();
+    bench::artifacts::write_artifact(&manifest, Json::obj().with("rows", Json::Arr(rows)));
+}

@@ -10,7 +10,7 @@ fn main() {
     let bins = [
         "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "table10", "table11",
         "ext_sync", "ext_loss", "ext_highrate", "ext_pacing", "ext_multihop",
-        "ext_ablation", "explain", "report",
+        "ext_ablation", "ext_cca", "explain", "report",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -4,6 +4,7 @@
 //! the `bench` crate's regeneration binaries.
 
 pub mod afct_comparison;
+pub mod cca_sweep;
 pub mod gsr_table;
 pub mod min_buffer;
 pub mod production;

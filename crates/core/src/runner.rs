@@ -12,8 +12,8 @@
 
 use netsim::red::RedConfig;
 use netsim::{
-    DropLedger, DumbbellBuilder, ForensicsConfig, LinkId, PacketRecord, QueueCapacity, Red, Sim,
-    TelemetryConfig,
+    DropLedger, DropTail, DumbbellBuilder, EcnMode, ForensicsConfig, LinkId, PacketRecord,
+    QueueCapacity, Red, Sim, TelemetryConfig,
 };
 use simcore::{Profile, Rng, SchedulerKind, SimDuration, SimTime};
 use stats::FctCollector;
@@ -42,6 +42,15 @@ pub struct LongFlowScenario {
     pub buffer_pkts: usize,
     /// Use RED instead of drop-tail on the bottleneck.
     pub red: bool,
+    /// CE-mark instead of dropping at the bottleneck. `Some(k)` installs a
+    /// DCTCP-style step-marking drop-tail (mark ECT arrivals once the
+    /// instantaneous depth reaches `k` packets; with [`red`] set, `k` is
+    /// ignored and RED switches to mark-mode instead) and enables ECN on
+    /// every flow's `TcpConfig`. `None` — the default — leaves ECN off
+    /// entirely, keeping results byte-identical to pre-ECN builds.
+    ///
+    /// [`red`]: LongFlowScenario::red
+    pub ecn_marking: Option<usize>,
     /// Access-link speed-up over the bottleneck.
     pub access_speedup: u64,
     /// TCP configuration.
@@ -97,6 +106,7 @@ impl LongFlowScenario {
             rtt_range: (SimDuration::from_millis(40), SimDuration::from_millis(120)),
             buffer_pkts: 100,
             red: false,
+            ecn_marking: None,
             access_speedup: 10,
             cfg: TcpConfig::default(),
             cc: CcKind::Reno,
@@ -123,6 +133,7 @@ impl LongFlowScenario {
             rtt_range: (SimDuration::from_millis(30), SimDuration::from_millis(90)),
             buffer_pkts: 100,
             red: false,
+            ecn_marking: None,
             access_speedup: 10,
             cfg: TcpConfig::default(),
             cc: CcKind::Reno,
@@ -187,11 +198,15 @@ impl LongFlowScenario {
             .flow_delays(delays);
         if self.red {
             let mean_pkt = SimDuration::transmission(PKT_SIZE as u64, self.bottleneck_rate);
-            builder = builder
-                .bottleneck_queue(Box::new(Red::new(RedConfig::recommended(
-                    self.buffer_pkts,
-                    mean_pkt,
-                ))));
+            let mut red = Red::new(RedConfig::recommended(self.buffer_pkts, mean_pkt));
+            if self.ecn_marking.is_some() {
+                red = red.with_marking();
+            }
+            builder = builder.bottleneck_queue(Box::new(red));
+        } else if let Some(k) = self.ecn_marking {
+            builder = builder.bottleneck_queue(Box::new(
+                DropTail::with_packets(self.buffer_pkts).with_ecn(EcnMode::Step(k)),
+            ));
         }
         let dumbbell = builder.build(&mut sim);
         if let Some(tel) = &self.telemetry {
@@ -205,8 +220,14 @@ impl LongFlowScenario {
         if self.profiler {
             sim.enable_profiler();
         }
+        // ECN is scenario-level: a marking bottleneck without ECN-capable
+        // endpoints (or vice versa) is a silent no-op, so one knob sets both.
+        let mut cfg = self.cfg;
+        if self.ecn_marking.is_some() {
+            cfg.ecn = true;
+        }
         let wl = BulkWorkload {
-            cfg: self.cfg,
+            cfg,
             cc: self.cc,
             pacing: self.pacing,
             start_window: self.start_window,
@@ -339,6 +360,7 @@ impl LongFlowScenario {
             retransmits,
             timeouts,
             fast_retransmits,
+            marks: sim.kernel().stats().marks,
             window_sum_samples: window_sum,
             per_flow_window_samples: per_flow,
             telemetry_digest: sim.telemetry().map(|t| t.digest()),
@@ -458,6 +480,9 @@ pub struct LongFlowResult {
     pub timeouts: u64,
     /// Total fast-retransmit events.
     pub fast_retransmits: u64,
+    /// Packets CE-marked at the bottleneck instead of dropped (always 0
+    /// unless [`LongFlowScenario::ecn_marking`] was set).
+    pub marks: u64,
     /// Samples of `Σᵢ cwndᵢ` (empty unless sampling was requested).
     pub window_sum_samples: Vec<f64>,
     /// Per-flow cwnd samples aligned with `window_sum_samples`.
@@ -895,6 +920,27 @@ mod tests {
         assert_eq!(tr.packet_digest, tr2.packet_digest);
         assert_eq!(tr.ledger.digest(), tr2.ledger.digest());
         assert_eq!(tr.spans.digest(), tr2.spans.digest());
+    }
+
+    #[test]
+    fn ecn_marking_trades_drops_for_marks() {
+        let mut sc = LongFlowScenario::quick(4, 10_000_000);
+        sc.buffer_pkts = 60;
+        let off = sc.run();
+        assert_eq!(off.marks, 0, "ECN off must never mark");
+        let mut on = sc.clone();
+        on.cc = CcKind::Dctcp;
+        on.ecn_marking = Some(15);
+        let r = on.run();
+        assert!(r.marks > 0, "step queue produced no CE marks");
+        assert!(
+            r.drop_rate <= off.drop_rate,
+            "marking should not add drops: on {} off {}",
+            r.drop_rate,
+            off.drop_rate
+        );
+        // Deterministic like everything else.
+        assert_eq!(on.run(), r);
     }
 
     #[test]

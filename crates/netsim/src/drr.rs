@@ -179,6 +179,7 @@ mod tests {
             pref: PacketRef(uid),
             flow: FlowId(flow),
             size,
+            ect: false,
         }
     }
 

@@ -6,7 +6,7 @@
 //! full, further events are counted but not stored (never silently
 //! truncated — check [`PacketLog::overflowed`]).
 
-use crate::forensics::DropReason;
+use crate::forensics::{DropReason, MarkReason};
 use crate::packet::FlowId;
 use crate::sim::LinkId;
 use simcore::SimTime;
@@ -27,6 +27,15 @@ pub enum PacketEvent {
     Transmitted,
     /// Delivered to the destination agent.
     Delivered,
+    /// CE-marked by a mark-mode queue instead of being dropped (RFC 3168).
+    /// Only ever emitted on ECN-enabled runs, so logs (and digests) of
+    /// ECN-off runs are byte-identical to pre-ECN output.
+    Marked {
+        /// The mechanism that marked the packet.
+        reason: MarkReason,
+        /// Queue occupancy (packets) at the instant of the mark.
+        depth: u32,
+    },
 }
 
 impl PacketEvent {
@@ -143,6 +152,9 @@ impl PacketLog {
                 PacketEvent::Dropped { .. } => 2,
                 PacketEvent::Transmitted => 3,
                 PacketEvent::Delivered => 4,
+                // Like `Dropped`, the mark metadata is excluded from the
+                // digest; the code 5 only appears in ECN-on runs.
+                PacketEvent::Marked { .. } => 5,
             },
         );
         self.hash = h;
@@ -208,9 +220,10 @@ impl PacketLog {
     }
 
     /// Renders the log in an ns-2-like single-line-per-event text format:
-    /// `<time> <+|d|-|r> <link|agent> <flow> <uid>` (`+` queued, `d`
-    /// dropped, `-` transmitted, `r` received/delivered). Drop lines carry
-    /// the forensic attribution as a trailing `<reason> q=<depth>`.
+    /// `<time> <+|d|-|r|m> <link|agent> <flow> <uid>` (`+` queued, `d`
+    /// dropped, `-` transmitted, `r` received/delivered, `m` CE-marked).
+    /// Drop and mark lines carry the forensic attribution as a trailing
+    /// `<reason> q=<depth>`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
@@ -219,6 +232,7 @@ impl PacketLog {
                 PacketEvent::Dropped { .. } => 'd',
                 PacketEvent::Transmitted => '-',
                 PacketEvent::Delivered => 'r',
+                PacketEvent::Marked { .. } => 'm',
             };
             let place = match r.link {
                 Some(l) => format!("link{}", l.0),
@@ -233,6 +247,9 @@ impl PacketLog {
                 r.uid
             ));
             if let PacketEvent::Dropped { reason, depth } = r.event {
+                out.push_str(&format!(" {} q={}", reason.name(), depth));
+            }
+            if let PacketEvent::Marked { reason, depth } = r.event {
                 out.push_str(&format!(" {} q={}", reason.name(), depth));
             }
             out.push('\n');
@@ -352,10 +369,37 @@ mod tests {
         let mut log = PacketLog::new(4);
         log.push(rec(1, 7, PacketEvent::Queued));
         log.push(rec(2, 7, dropped()));
+        log.push(rec(
+            3,
+            8,
+            PacketEvent::Marked {
+                reason: MarkReason::Step,
+                depth: 9,
+            },
+        ));
         let s = log.render();
         assert!(s.contains("+ link1 f0 p7"));
         assert!(s.contains("d link1 f0 p7"));
-        // Drop lines carry the forensic attribution.
+        // Drop and mark lines carry the forensic attribution.
         assert!(s.contains("d link1 f0 p7 tail-overflow q=42"));
+        assert!(s.contains("m link1 f0 p8 ecn-step q=9"));
+    }
+
+    #[test]
+    fn marked_folds_as_its_own_kind_with_metadata_excluded() {
+        // Mark metadata is observability-only, like drop metadata …
+        let mark = |reason, depth| PacketEvent::Marked { reason, depth };
+        let mut a = PacketLog::new(10);
+        a.push(rec(1, 1, mark(MarkReason::Step, 5)));
+        let mut b = PacketLog::new(10);
+        b.push(rec(1, 1, mark(MarkReason::RedEarly, 9)));
+        assert_eq!(a.digest(), b.digest());
+        // … but a mark is a distinct event kind from a queue or a drop.
+        let mut c = PacketLog::new(10);
+        c.push(rec(1, 1, PacketEvent::Queued));
+        let mut d = PacketLog::new(10);
+        d.push(rec(1, 1, dropped()));
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
     }
 }

@@ -74,6 +74,60 @@ impl DropReason {
     }
 }
 
+/// The mechanism that CE-marked a packet instead of dropping it (RFC 3168).
+///
+/// Marking is the ECN analogue of [`DropReason`]: a mark-mode queue signals
+/// congestion by rewriting an ECT codepoint to CE, and the ledger attributes
+/// every mark to the discipline that produced it. Mark aggregates fold into
+/// the ledger [`digest`](DropLedger::digest) **only when non-empty**, so an
+/// ECN-off run's digest is byte-identical to a build without marking at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MarkReason {
+    /// Drop-tail occupancy-threshold marking: the queue depth at arrival
+    /// exceeded the configured mark threshold.
+    Threshold,
+    /// DCTCP-style step marking: instantaneous depth at arrival was at or
+    /// above the step point `K` (Alizadeh et al., SIGCOMM 2010).
+    Step,
+    /// RED marked probabilistically between its thresholds (where drop-mode
+    /// RED would have dropped early).
+    RedEarly,
+    /// RED marked deterministically: average above the (gentle) max
+    /// threshold. A physically full queue still *drops* — there is no slot
+    /// to mark.
+    RedForced,
+}
+
+impl MarkReason {
+    /// Every reason, in report order.
+    pub const ALL: [MarkReason; 4] = [
+        MarkReason::Threshold,
+        MarkReason::Step,
+        MarkReason::RedEarly,
+        MarkReason::RedForced,
+    ];
+
+    /// Stable kebab-case name (used in renders, JSONL and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkReason::Threshold => "ecn-threshold",
+            MarkReason::Step => "ecn-step",
+            MarkReason::RedEarly => "ecn-red-early",
+            MarkReason::RedForced => "ecn-red-forced",
+        }
+    }
+
+    /// Stable small integer code (digest material; never reorder).
+    pub fn code(self) -> u8 {
+        match self {
+            MarkReason::Threshold => 0,
+            MarkReason::Step => 1,
+            MarkReason::RedEarly => 2,
+            MarkReason::RedForced => 3,
+        }
+    }
+}
+
 /// Configuration for [`crate::Sim::enable_drop_forensics`].
 #[derive(Clone, Copy, Debug)]
 pub struct ForensicsConfig {
@@ -154,6 +208,11 @@ pub struct DropLedger {
     windows: BTreeMap<u32, LinkWindow>,
     episodes: Vec<SyncEpisode>,
     total: u64,
+    /// CE marks keyed by `(link, reason)` (empty unless ECN marking ran).
+    marks_by_link_reason: BTreeMap<(u32, MarkReason), u64>,
+    /// CE marks keyed by flow (empty unless ECN marking ran).
+    marks_by_flow: BTreeMap<u32, u64>,
+    marks_total: u64,
 }
 
 impl DropLedger {
@@ -168,6 +227,9 @@ impl DropLedger {
             windows: BTreeMap::new(),
             episodes: Vec::new(),
             total: 0,
+            marks_by_link_reason: BTreeMap::new(),
+            marks_by_flow: BTreeMap::new(),
+            marks_total: 0,
         }
     }
 
@@ -230,9 +292,39 @@ impl DropLedger {
         }
     }
 
+    /// Accounts one CE mark. Called by the kernel when a mark-mode queue
+    /// marks instead of dropping. `// simlint: hot-path`
+    pub(crate) fn on_mark(&mut self, link: LinkId, flow: FlowId, reason: MarkReason) {
+        self.marks_total += 1;
+        *self
+            .marks_by_link_reason
+            .entry((link.0, reason))
+            .or_insert(0) += 1;
+        *self.marks_by_flow.entry(flow.0).or_insert(0) += 1;
+    }
+
     /// Total drops accounted.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Total CE marks accounted (0 unless a mark-mode queue ran).
+    pub fn marks(&self) -> u64 {
+        self.marks_total
+    }
+
+    /// CE marks with the given reason, summed over links.
+    pub fn marks_by_reason(&self, reason: MarkReason) -> u64 {
+        self.marks_by_link_reason
+            .iter()
+            .filter(|((_, r), _)| *r == reason)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// CE marks charged to one flow, all reasons.
+    pub fn flow_marks(&self, flow: FlowId) -> u64 {
+        self.marks_by_flow.get(&flow.0).copied().unwrap_or(0)
     }
 
     /// Drops with the given reason, summed over links.
@@ -322,6 +414,20 @@ impl DropLedger {
             mix(ep.flows as u64);
             mix(ep.drops);
         }
+        // Mark aggregates fold ONLY when marking happened: an ECN-off run
+        // must digest byte-identically to a ledger that predates ECN.
+        if self.marks_total > 0 {
+            mix(self.marks_total);
+            for ((link, reason), n) in &self.marks_by_link_reason {
+                mix(u64::from(*link));
+                mix(u64::from(reason.code()));
+                mix(*n);
+            }
+            for (flow, n) in &self.marks_by_flow {
+                mix(u64::from(*flow));
+                mix(*n);
+            }
+        }
         h
     }
 
@@ -368,6 +474,22 @@ impl DropLedger {
                 ep.end.as_nanos(),
                 ep.flows,
                 ep.drops
+            ));
+        }
+        // Mark lines only appear when marking happened, keeping ECN-off
+        // exports byte-identical to pre-ECN output.
+        for ((link, reason), n) in &self.marks_by_link_reason {
+            out.push_str(&format!(
+                "{{\"kind\":\"mark\",\"link\":{},\"reason\":\"{}\",\"marks\":{}}}\n",
+                link,
+                reason.name(),
+                n
+            ));
+        }
+        for (flow, n) in &self.marks_by_flow {
+            out.push_str(&format!(
+                "{{\"kind\":\"mark-flow\",\"flow\":{},\"marks\":{}}}\n",
+                flow, n
             ));
         }
         out
@@ -457,6 +579,40 @@ mod tests {
         l.on_drop(t(12), LinkId(0), FlowId(3), DropReason::TailOverflow, 5);
         assert_eq!(l.episodes().len(), 1);
         assert_eq!(l.episodes()[0].link, LinkId(0));
+    }
+
+    #[test]
+    fn mark_reason_names_and_codes_are_distinct() {
+        let names: BTreeSet<&str> = MarkReason::ALL.iter().map(|r| r.name()).collect();
+        let codes: BTreeSet<u8> = MarkReason::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(names.len(), MarkReason::ALL.len());
+        assert_eq!(codes.len(), MarkReason::ALL.len());
+    }
+
+    #[test]
+    fn marks_do_not_perturb_drop_digest_until_present() {
+        let drops_only = |l: &mut DropLedger| {
+            l.on_drop(t(10), LinkId(0), FlowId(1), DropReason::TailOverflow, 5);
+        };
+        let mut a = ledger();
+        drops_only(&mut a);
+        let mut b = ledger();
+        drops_only(&mut b);
+        // Same drops, no marks: identical digest and JSONL (the ECN-off
+        // compatibility contract).
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.to_jsonl().contains("\"kind\":\"mark\""));
+        // Adding a mark changes the digest and surfaces mark lines.
+        b.on_mark(LinkId(0), FlowId(2), MarkReason::Step);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(b.marks(), 1);
+        assert_eq!(b.marks_by_reason(MarkReason::Step), 1);
+        assert_eq!(b.marks_by_reason(MarkReason::Threshold), 0);
+        assert_eq!(b.flow_marks(FlowId(2)), 1);
+        assert_eq!(b.flow_marks(FlowId(1)), 0);
+        let j = b.to_jsonl();
+        assert!(j.contains("\"reason\":\"ecn-step\""));
+        assert!(j.contains("\"kind\":\"mark-flow\""));
     }
 
     #[test]

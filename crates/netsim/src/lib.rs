@@ -44,13 +44,15 @@ pub use auditor::Auditor;
 pub use builder::{Dumbbell, DumbbellBuilder, DumbbellView};
 pub use drr::Drr;
 pub use eventlog::{PacketEvent, PacketLog, PacketRecord};
-pub use forensics::{DropLedger, DropReason, ForensicsConfig, SyncEpisode};
+pub use forensics::{DropLedger, DropReason, ForensicsConfig, MarkReason, SyncEpisode};
 pub use link::Link;
 pub use monitor::LinkMonitor;
 pub use node::{Node, NodeKind, RouteTable};
 pub use parking_lot::{ParkingLot, ParkingLotBuilder};
-pub use packet::{FlowId, Packet, PacketArena, PacketKind, PacketRef, SackBlocks, TcpFlags, TcpHeader};
-pub use queue::{DropTail, Queue, QueueCapacity, QueuedPacket};
+pub use packet::{
+    Ecn, FlowId, Packet, PacketArena, PacketKind, PacketRef, SackBlocks, TcpFlags, TcpHeader,
+};
+pub use queue::{DropTail, EcnMode, Queue, QueueCapacity, QueuedPacket};
 pub use red::Red;
 pub use sim::{Agent, AgentId, Ctx, LinkId, NodeId, Sim};
 pub use simcore::SchedulerKind;

@@ -27,6 +27,39 @@ pub struct TcpFlags {
     pub syn: bool,
     /// Last segment of the flow.
     pub fin: bool,
+    /// ECN-Echo (RFC 3168): the receiver saw a CE-marked segment and is
+    /// reflecting it back to the sender on this ACK.
+    pub ece: bool,
+    /// Congestion Window Reduced (RFC 3168): the sender acknowledges an
+    /// ECE by flagging the first data segment sent after its reduction.
+    pub cwr: bool,
+}
+
+/// The ECN codepoint of a packet's IP header (RFC 3168 §5).
+///
+/// `NotEct` traffic is never marked — an ECN-enabled queue falls back to
+/// dropping it. `Ect` declares the transport ECN-capable; a congested
+/// mark-mode queue rewrites it to `Ce` instead of dropping. The default is
+/// `NotEct`, so every pre-ECN construction site is unchanged and ECN is
+/// strictly opt-in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Ecn {
+    /// Not ECN-capable transport (the default; queues drop, never mark).
+    #[default]
+    NotEct,
+    /// ECN-capable transport (ECT(0); eligible for CE marking).
+    Ect,
+    /// Congestion experienced: a queue marked this packet instead of
+    /// dropping it.
+    Ce,
+}
+
+impl Ecn {
+    /// True when the packet may be CE-marked instead of dropped (ECT or an
+    /// already-marked CE packet).
+    pub fn is_ect(self) -> bool {
+        !matches!(self, Ecn::NotEct)
+    }
 }
 
 /// SACK option blocks: up to 3 `[start, end)` ranges of received segments
@@ -129,6 +162,9 @@ pub struct Packet {
     pub size: u32,
     /// Payload description.
     pub kind: PacketKind,
+    /// ECN codepoint ([`Ecn::NotEct`] unless the sending transport opted
+    /// in; queues rewrite `Ect` to `Ce` when marking).
+    pub ecn: Ecn,
     /// Time the packet was created at its source.
     pub created: SimTime,
 }
@@ -201,6 +237,13 @@ impl PacketArena {
         &self.slots[r.idx()]
     }
 
+    /// Mutable access to a live packet (the kernel applies CE marks here —
+    /// queues only hold [`PacketRef`]s and cannot rewrite packets).
+    #[inline]
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        &mut self.slots[r.idx()]
+    }
+
     /// Frees the slot and returns the packet by value (delivery path).
     #[inline]
     pub fn take(&mut self, r: PacketRef) -> Packet {
@@ -257,8 +300,19 @@ mod tests {
             dst: NodeId(1),
             size: 1000,
             kind: PacketKind::Udp { seq: uid },
+            ecn: Ecn::default(),
             created: SimTime::ZERO,
         }
+    }
+
+    #[test]
+    fn ecn_defaults_to_not_ect() {
+        assert_eq!(Ecn::default(), Ecn::NotEct);
+        assert!(!Ecn::NotEct.is_ect());
+        assert!(Ecn::Ect.is_ect());
+        assert!(Ecn::Ce.is_ect());
+        let f = TcpFlags::default();
+        assert!(!f.ece && !f.cwr);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`Packet`](crate::packet::Packet); the packet body stays put in the
 //! kernel's [`PacketArena`](crate::packet::PacketArena).
 
-use crate::forensics::DropReason;
+use crate::forensics::{DropReason, MarkReason};
 use crate::packet::{FlowId, PacketRef};
 use simcore::{Rng, SimTime};
 
@@ -44,6 +44,11 @@ pub struct QueuedPacket {
     pub flow: FlowId,
     /// Wire size in bytes (byte-capacity accounting, DRR deficits).
     pub size: u32,
+    /// True when the packet is ECN-capable (ECT/CE codepoint): a mark-mode
+    /// queue may signal congestion by CE-marking it instead of dropping.
+    /// The kernel copies this from the arena packet at enqueue so the
+    /// discipline can decide without arena access.
+    pub ect: bool,
 }
 
 /// An output queue attached to a link.
@@ -87,6 +92,16 @@ pub trait Queue: Send {
     /// early (probabilistic) from forced drops.
     fn last_drop_reason(&self) -> DropReason {
         DropReason::TailOverflow
+    }
+
+    /// Consumes the queue's pending CE-mark decision for the packet the
+    /// most recent **successful** `enqueue` admitted. The kernel calls this
+    /// immediately after `Ok(())` and, on `Some`, rewrites the packet's
+    /// codepoint to CE in the arena (queues only hold refs) and accounts
+    /// the mark. Drop-mode disciplines keep the default `None`, which keeps
+    /// ECN strictly opt-in: no marks, no digest or artifact changes.
+    fn take_mark(&mut self) -> Option<MarkReason> {
+        None
     }
 
     /// Upcast for downcasting to a concrete queue type (diagnostics and
@@ -175,6 +190,20 @@ impl LinkQueue {
         }
     }
 
+    /// Consumes the pending CE-mark decision (see [`Queue::take_mark`]).
+    #[inline]
+    pub fn take_mark(&mut self) -> Option<MarkReason> {
+        match self {
+            LinkQueue::DropTail(q) => {
+                // Statically dispatched; `EcnMode::Drop` (the default)
+                // never sets a pending mark, so this is a no-op branch on
+                // the classic drop-tail hot path.
+                q.pending_mark.take()
+            }
+            LinkQueue::Dyn(q) => q.take_mark(),
+        }
+    }
+
     /// Upcast for downcasting to a concrete queue type.
     pub fn as_any(&self) -> &dyn std::any::Any {
         match self {
@@ -208,12 +237,35 @@ impl std::fmt::Debug for LinkQueue {
     }
 }
 
+/// How (whether) a [`DropTail`] queue CE-marks ECT packets (RFC 3168).
+///
+/// Marking never replaces the *overflow* drop — a physically full queue has
+/// no slot to admit the packet into, so it drops regardless of mode. The
+/// modes only add a congestion signal to packets that *are* admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EcnMode {
+    /// Classic drop-tail: never mark (the default; byte-identical behavior
+    /// to a build without ECN).
+    #[default]
+    Drop,
+    /// Mark an admitted ECT packet when the queue depth *after* enqueue
+    /// exceeds the threshold — drop-tail behavior at a virtual capacity,
+    /// signalled instead of enforced.
+    Threshold(usize),
+    /// DCTCP-style step marking (Alizadeh et al., SIGCOMM 2010): mark an
+    /// admitted ECT packet when the instantaneous depth *at arrival* is at
+    /// least `K` packets.
+    Step(usize),
+}
+
 /// A FIFO queue that drops arriving packets when full (drop-tail).
 #[derive(Debug)]
 pub struct DropTail {
     items: std::collections::VecDeque<QueuedPacket>,
     bytes: u64,
     capacity: QueueCapacity,
+    ecn: EcnMode,
+    pub(crate) pending_mark: Option<MarkReason>,
 }
 
 /// Largest packet-count capacity [`DropTail::new`] pre-allocates for.
@@ -242,12 +294,25 @@ impl DropTail {
             items,
             bytes: 0,
             capacity,
+            ecn: EcnMode::Drop,
+            pending_mark: None,
         }
     }
 
     /// Convenience constructor: capacity in packets.
     pub fn with_packets(pkts: usize) -> Self {
         Self::new(QueueCapacity::Packets(pkts))
+    }
+
+    /// Sets the ECN marking mode (builder style; default [`EcnMode::Drop`]).
+    pub fn with_ecn(mut self, mode: EcnMode) -> Self {
+        self.ecn = mode;
+        self
+    }
+
+    /// The configured ECN marking mode.
+    pub fn ecn_mode(&self) -> EcnMode {
+        self.ecn
     }
 
     #[inline]
@@ -269,6 +334,21 @@ impl Queue for DropTail {
     ) -> Result<(), QueuedPacket> {
         if self.would_overflow(&pkt) {
             return Err(pkt);
+        }
+        // simlint: hot-path — `EcnMode::Drop` is the common case and must
+        // stay a single predictable branch.
+        match self.ecn {
+            EcnMode::Drop => {}
+            EcnMode::Threshold(th) => {
+                if pkt.ect && self.items.len() + 1 > th {
+                    self.pending_mark = Some(MarkReason::Threshold);
+                }
+            }
+            EcnMode::Step(k) => {
+                if pkt.ect && self.items.len() >= k {
+                    self.pending_mark = Some(MarkReason::Step);
+                }
+            }
         }
         self.bytes += pkt.size as u64;
         self.items.push_back(pkt);
@@ -294,6 +374,10 @@ impl Queue for DropTail {
         self.capacity
     }
 
+    fn take_mark(&mut self) -> Option<MarkReason> {
+        self.pending_mark.take()
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -308,6 +392,14 @@ mod tests {
             pref: PacketRef(uid),
             flow: FlowId(0),
             size,
+            ect: false,
+        }
+    }
+
+    fn ect_pkt(uid: u32) -> QueuedPacket {
+        QueuedPacket {
+            ect: true,
+            ..pkt(uid, 100)
         }
     }
 
@@ -369,6 +461,50 @@ mod tests {
         let mut q = DropTail::with_packets(0);
         let mut rng = Rng::new(0);
         assert!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut rng).is_err());
+    }
+
+    #[test]
+    fn step_mode_marks_ect_at_or_above_k() {
+        let mut q = DropTail::with_packets(10).with_ecn(EcnMode::Step(2));
+        let mut rng = Rng::new(0);
+        // Depth at arrival 0 and 1: admitted unmarked.
+        q.enqueue(ect_pkt(0), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), None);
+        q.enqueue(ect_pkt(1), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), None);
+        // Depth at arrival 2 = K: marked; take_mark consumes the decision.
+        q.enqueue(ect_pkt(2), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), Some(MarkReason::Step));
+        assert_eq!(q.take_mark(), None);
+        // A non-ECT packet at the same depth is admitted unmarked.
+        q.enqueue(pkt(3, 100), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), None);
+        // Physically full still drops, even for ECT.
+        let mut full = DropTail::with_packets(1).with_ecn(EcnMode::Step(0));
+        full.enqueue(ect_pkt(0), SimTime::ZERO, &mut rng).unwrap();
+        let _ = full.take_mark();
+        assert!(full.enqueue(ect_pkt(1), SimTime::ZERO, &mut rng).is_err());
+        assert_eq!(full.take_mark(), None);
+    }
+
+    #[test]
+    fn threshold_mode_marks_when_depth_exceeds_threshold() {
+        let mut q = DropTail::with_packets(10).with_ecn(EcnMode::Threshold(2));
+        let mut rng = Rng::new(0);
+        // Post-enqueue depths 1 and 2: within threshold, unmarked.
+        q.enqueue(ect_pkt(0), SimTime::ZERO, &mut rng).unwrap();
+        q.enqueue(ect_pkt(1), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), None);
+        // Post-enqueue depth 3 > 2: marked.
+        q.enqueue(ect_pkt(2), SimTime::ZERO, &mut rng).unwrap();
+        assert_eq!(q.take_mark(), Some(MarkReason::Threshold));
+        // Default mode never marks.
+        let mut plain = DropTail::with_packets(10);
+        assert_eq!(plain.ecn_mode(), EcnMode::Drop);
+        for i in 0..5 {
+            plain.enqueue(ect_pkt(i), SimTime::ZERO, &mut rng).unwrap();
+            assert_eq!(plain.take_mark(), None);
+        }
     }
 
     #[test]

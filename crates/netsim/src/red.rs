@@ -10,7 +10,7 @@
 //! from `max_p` to 1 between `max_th` and `2·max_th`) is available as an
 //! option.
 
-use crate::forensics::DropReason;
+use crate::forensics::{DropReason, MarkReason};
 use crate::queue::{Queue, QueueCapacity, QueuedPacket};
 use simcore::{Rng, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -68,9 +68,17 @@ pub struct Red {
     pub early_drops: u64,
     /// Forced drops: queue physically full or average above max threshold.
     pub forced_drops: u64,
+    /// CE marks where drop-mode RED would have early-dropped (mark mode).
+    pub early_marks: u64,
+    /// CE marks where the average exceeded the max threshold (mark mode).
+    pub forced_marks: u64,
     /// Attribution of the most recent drop (read by the kernel right after
     /// an `enqueue` rejection, see [`Queue::last_drop_reason`]).
     last_reason: DropReason,
+    /// Mark instead of dropping ECT packets (RFC 3168 §7; physically-full
+    /// arrivals still drop).
+    mark_mode: bool,
+    pending_mark: Option<MarkReason>,
 }
 
 impl Red {
@@ -88,8 +96,27 @@ impl Red {
             idle_since: Some(SimTime::ZERO),
             early_drops: 0,
             forced_drops: 0,
+            early_marks: 0,
+            forced_marks: 0,
             last_reason: DropReason::RedForced,
+            mark_mode: false,
+            pending_mark: None,
         }
+    }
+
+    /// Enables mark mode (builder style): where drop-mode RED would drop an
+    /// ECT packet it CE-marks and admits it instead. Non-ECT packets and
+    /// physically-full arrivals are still dropped, exactly as before, so a
+    /// mark-mode queue carrying only NotEct traffic behaves byte-identically
+    /// to drop mode.
+    pub fn with_marking(mut self) -> Self {
+        self.mark_mode = true;
+        self
+    }
+
+    /// True when the queue marks instead of dropping ECT packets.
+    pub fn mark_mode(&self) -> bool {
+        self.mark_mode
     }
 
     /// The current EWMA queue estimate, in packets.
@@ -153,21 +180,30 @@ impl Queue for Red {
 
         let p_b = self.drop_probability();
         if p_b >= 1.0 {
-            self.forced_drops += 1;
             self.count = 0;
-            self.last_reason = DropReason::RedForced;
-            return Err(pkt);
-        }
-        if p_b > 0.0 {
+            if self.mark_mode && pkt.ect {
+                self.forced_marks += 1;
+                self.pending_mark = Some(MarkReason::RedForced);
+            } else {
+                self.forced_drops += 1;
+                self.last_reason = DropReason::RedForced;
+                return Err(pkt);
+            }
+        } else if p_b > 0.0 {
             self.count += 1;
             // Spread drops: p_a = p_b / (1 - count * p_b).
             let denom = 1.0 - self.count as f64 * p_b;
             let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
             if rng.chance(p_a) {
-                self.early_drops += 1;
                 self.count = 0;
-                self.last_reason = DropReason::RedEarly;
-                return Err(pkt);
+                if self.mark_mode && pkt.ect {
+                    self.early_marks += 1;
+                    self.pending_mark = Some(MarkReason::RedEarly);
+                } else {
+                    self.early_drops += 1;
+                    self.last_reason = DropReason::RedEarly;
+                    return Err(pkt);
+                }
             }
         } else {
             self.count = -1;
@@ -203,6 +239,10 @@ impl Queue for Red {
         self.last_reason
     }
 
+    fn take_mark(&mut self) -> Option<MarkReason> {
+        self.pending_mark.take()
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -218,6 +258,14 @@ mod tests {
             pref: PacketRef(uid),
             flow: FlowId(0),
             size: 1000,
+            ect: false,
+        }
+    }
+
+    fn ect_pkt(uid: u32) -> QueuedPacket {
+        QueuedPacket {
+            ect: true,
+            ..pkt(uid)
         }
     }
 
@@ -306,6 +354,67 @@ mod tests {
             avg_busy,
             q.avg_queue()
         );
+    }
+
+    #[test]
+    fn mark_mode_marks_ect_instead_of_dropping() {
+        let mut q = Red::new(cfg(1000)).with_marking();
+        assert!(q.mark_mode());
+        let mut rng = Rng::new(2);
+        // Hold the queue between the thresholds; every ECT arrival that
+        // drop-mode RED would have early-dropped must be admitted marked.
+        for i in 0..10 {
+            let _ = q.enqueue(ect_pkt(i), SimTime::ZERO, &mut rng);
+            let _ = q.take_mark();
+        }
+        let mut marks = 0;
+        for i in 10..2000u32 {
+            q.enqueue(ect_pkt(i), SimTime::ZERO, &mut rng)
+                .expect("mark-mode RED must not drop ECT below capacity");
+            if q.take_mark().is_some() {
+                marks += 1;
+            }
+            q.dequeue(SimTime::ZERO);
+        }
+        assert!(marks > 0, "expected some CE marks");
+        assert_eq!(q.early_marks, marks);
+        assert_eq!(q.early_drops + q.forced_drops, 0);
+    }
+
+    #[test]
+    fn mark_mode_still_drops_non_ect_and_overflow() {
+        // Non-ECT traffic through a mark-mode queue behaves like drop mode.
+        let mut q = Red::new(cfg(1000)).with_marking();
+        let mut rng = Rng::new(2);
+        for i in 0..10 {
+            let _ = q.enqueue(pkt(i), SimTime::ZERO, &mut rng);
+        }
+        let mut dropped = 0;
+        for i in 10..2000u32 {
+            if q.enqueue(pkt(i), SimTime::ZERO, &mut rng).is_err() {
+                dropped += 1;
+            } else {
+                q.dequeue(SimTime::ZERO);
+            }
+            assert_eq!(q.take_mark(), None);
+        }
+        assert!(dropped > 0, "non-ECT traffic must still be dropped");
+        // Physically full drops even ECT packets.
+        let mut full = Red::new(RedConfig {
+            capacity_pkts: 3,
+            min_th: 100.0,
+            max_th: 200.0,
+            max_p: 0.1,
+            weight: 0.002,
+            gentle: false,
+            mean_pkt_time: SimDuration::from_micros(100),
+        })
+        .with_marking();
+        for i in 0..3 {
+            full.enqueue(ect_pkt(i), SimTime::ZERO, &mut rng).unwrap();
+        }
+        assert!(full.enqueue(ect_pkt(3), SimTime::ZERO, &mut rng).is_err());
+        assert_eq!(full.forced_drops, 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::forensics::{DropLedger, DropReason, ForensicsConfig};
 use crate::link::Link;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::node::{Node, NodeKind};
-use crate::packet::{FlowId, Packet, PacketArena, PacketKind, PacketRef};
+use crate::packet::{Ecn, FlowId, Packet, PacketArena, PacketKind, PacketRef};
 use crate::queue::{QueueCapacity, QueuedPacket};
 use simcore::trace::TraceSink;
 use simcore::{Profile, Rng, Scheduler, SchedulerKind, SimDuration, SimTime};
@@ -144,6 +144,9 @@ pub struct KernelStats {
     pub unroutable: u64,
     /// Packets dropped by queues.
     pub drops: u64,
+    /// Packets CE-marked by mark-mode queues instead of dropped (always 0
+    /// unless an ECN-enabled queue and ECT traffic are both present).
+    pub marks: u64,
 }
 
 /// Per-flow network-level counters (indexed by [`FlowId`]).
@@ -448,6 +451,7 @@ impl Kernel {
             pref,
             flow: p.flow,
             size: p.size,
+            ect: p.ecn.is_ect(),
         };
         let (uid, flow) = (p.uid, p.flow);
         let link = &mut self.links[lid.idx()];
@@ -468,6 +472,29 @@ impl Kernel {
                 Ok(()) => {
                     let qlen = link.queue.len_packets();
                     link.monitor.on_offered(qlen);
+                    // Mark-mode disciplines signal congestion on admitted
+                    // packets; the kernel owns the arena, so the CE rewrite
+                    // happens here. `take_mark` is `None` for every
+                    // drop-mode queue, keeping this a dead branch (and the
+                    // digests untouched) on ECN-off runs.
+                    if let Some(mreason) = link.queue.take_mark() {
+                        self.arena.get_mut(pref).ecn = Ecn::Ce;
+                        self.stats.marks += 1;
+                        if OBS {
+                            self.log_packet::<OBS>(
+                                uid,
+                                flow,
+                                Some(lid),
+                                PacketEvent::Marked {
+                                    reason: mreason,
+                                    depth: qlen as u32,
+                                },
+                            );
+                            if let Some(led) = &mut self.forensics {
+                                led.on_mark(lid, flow, mreason);
+                            }
+                        }
+                    }
                 }
                 Err(dropped) => {
                     let qlen = link.queue.len_packets();
@@ -573,6 +600,10 @@ impl<'a> Ctx<'a> {
             dst,
             size,
             kind,
+            // NotEct by default: an ECN-capable transport opts in by
+            // setting `ecn = Ecn::Ect` on the returned packet before
+            // `send`, so ECN can never leak into unaware scenarios.
+            ecn: Ecn::NotEct,
             created: self.kernel.now,
         }
     }
@@ -1534,11 +1565,15 @@ mod packet_log_tests {
         flow: FlowId,
         dst: NodeId,
         n: u64,
+        ect: bool,
     }
     impl Agent for Burst {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for i in 0..self.n {
-                let p = ctx.make_packet(self.flow, self.dst, 1000, PacketKind::Udp { seq: i });
+                let mut p = ctx.make_packet(self.flow, self.dst, 1000, PacketKind::Udp { seq: i });
+                if self.ect {
+                    p.ecn = Ecn::Ect;
+                }
                 ctx.send(p);
             }
         }
@@ -1584,6 +1619,7 @@ mod packet_log_tests {
                 flow: FlowId(0),
                 dst: h1,
                 n: 5,
+                ect: false,
             }),
         );
         let sink = sim.add_agent(h1, Box::new(Sink));
@@ -1610,5 +1646,68 @@ mod packet_log_tests {
         assert!(first[0].time <= first[1].time && first[1].time <= first[2].time);
         // Render doesn't panic and contains drop markers.
         assert!(log.render().contains(" d "));
+    }
+
+    #[test]
+    fn step_queue_marks_ect_burst_and_reconciles() {
+        use crate::forensics::{ForensicsConfig, MarkReason};
+        use crate::queue::{DropTail, EcnMode, LinkQueue};
+
+        let run = |ect: bool| {
+            let mut sim = Sim::new(1);
+            sim.enable_packet_log(1000);
+            sim.enable_drop_forensics(ForensicsConfig::new(SimDuration::from_millis(20)));
+            let h0 = sim.add_node("h0", NodeKind::Host);
+            let h1 = sim.add_node("h1", NodeKind::Host);
+            let lid = sim.add_link(Link::new(
+                "l",
+                h0,
+                h1,
+                1_000_000,
+                SimDuration::from_millis(5),
+                QueueCapacity::Packets(8),
+            ));
+            sim.kernel_mut().link_mut(lid).queue =
+                LinkQueue::from(DropTail::with_packets(8).with_ecn(EcnMode::Step(2)));
+            sim.kernel_mut().node_mut(h0).routes.add(h1, lid);
+            sim.add_agent(
+                h0,
+                Box::new(Burst {
+                    flow: FlowId(0),
+                    dst: h1,
+                    n: 6,
+                    ect,
+                }),
+            );
+            let sink = sim.add_agent(h1, Box::new(Sink));
+            sim.bind_flow(FlowId(0), h1, sink);
+            sim.start();
+            sim.run_until(SimTime::from_secs(1));
+            sim
+        };
+
+        // A 6-packet ECT burst: 1 serializes immediately, 5 queue; arrivals
+        // at queue depths 0..=4, of which depths 2, 3, 4 are >= K = 2.
+        let sim = run(true);
+        assert_eq!(sim.kernel().stats().marks, 3);
+        assert_eq!(sim.kernel().stats().drops, 0);
+        let led = sim.forensics().expect("enabled");
+        assert_eq!(led.marks(), 3);
+        assert_eq!(led.marks_by_reason(MarkReason::Step), 3);
+        assert_eq!(led.flow_marks(FlowId(0)), 3);
+        let log = sim.kernel().packet_log().expect("enabled");
+        let marked = log
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, PacketEvent::Marked { .. }))
+            .count();
+        assert_eq!(marked, 3);
+        assert!(log.render().contains(" m "));
+
+        // The same burst without ECT is never marked: mark-mode queues are
+        // inert for NotEct traffic.
+        let plain = run(false);
+        assert_eq!(plain.kernel().stats().marks, 0);
+        assert_eq!(plain.forensics().unwrap().marks(), 0);
     }
 }

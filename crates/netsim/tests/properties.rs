@@ -13,6 +13,7 @@ fn pkt(uid: u32, size: u32) -> QueuedPacket {
         pref: PacketRef(uid),
         flow: FlowId(0),
         size,
+        ect: false,
     }
 }
 

@@ -197,23 +197,35 @@ impl TcpSource {
         self.flow
     }
 
+    // simlint: hot-path — every outgoing data segment
     fn transmit(&mut self, seq: u64, retransmit: bool, fin: bool, ctx: &mut Ctx<'_>) {
+        // CWR rides on the first data segment after an ECE-triggered
+        // reduction (RFC 3168 §6.1.2); take_cwr is a no-op default for
+        // machines without an ECN path, and cfg.ecn gates the call so
+        // non-ECN runs never touch the flow-table flag.
+        let cwr = self.cfg.ecn && self.sender.take_cwr();
         let hdr = TcpHeader {
             seq: to_wire(seq),
             ack: 0,
             flags: TcpFlags {
                 syn: seq == 0 && !retransmit,
                 fin,
+                ece: false,
+                cwr,
             },
             ts: ctx.now(),
             sack: netsim::SackBlocks::EMPTY,
         };
-        let pkt = ctx.make_packet(
+        let mut pkt = ctx.make_packet(
             self.flow,
             self.dst,
             self.cfg.data_size,
             PacketKind::TcpData(hdr),
         );
+        if self.cfg.ecn {
+            // ECN-capable transport: routers mark instead of dropping.
+            pkt.ecn = netsim::Ecn::Ect;
+        }
         ctx.send(pkt);
     }
 
@@ -314,6 +326,7 @@ impl Agent for TcpSource {
                 ack,
                 ts_echo: hdr.ts,
                 sack,
+                ece: hdr.flags.ece,
             };
             let before = self.span_snap();
             let mut actions = std::mem::take(&mut self.scratch);
@@ -421,11 +434,13 @@ impl TcpSink {
         })
     }
 
+    // simlint: hot-path — every outgoing ACK
     fn send_ack(
         &self,
         ack: u64,
         ts_echo: SimTime,
         sack: SackRanges,
+        ece: bool,
         to: NodeId,
         ctx: &mut Ctx<'_>,
     ) {
@@ -437,7 +452,10 @@ impl TcpSink {
         let hdr = TcpHeader {
             seq: 0,
             ack: to_wire(ack),
-            flags: TcpFlags::default(),
+            flags: TcpFlags {
+                ece,
+                ..TcpFlags::default()
+            },
             ts: ts_echo,
             sack: wire_sack,
         };
@@ -451,11 +469,16 @@ impl Agent for TcpSink {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketKind::TcpData(hdr) = pkt.kind {
             let seq = self.seq_unwrap.unwrap(hdr.seq);
+            // ECN first: a CE mark on this segment must be reflected in the
+            // very ACK it triggers (no-op for non-ECN traffic: NotEct
+            // packets are never marked and senders never set CWR).
+            self.receiver
+                .on_ecn(pkt.ecn == netsim::Ecn::Ce, hdr.flags.cwr);
             let res = self
                 .receiver
                 .on_data(ctx.now(), seq, hdr.flags.fin, hdr.ts, pkt.created);
             if let Some(ack) = res.ack {
-                self.send_ack(ack.ack, ack.ts_echo, ack.sack, pkt.src, ctx);
+                self.send_ack(ack.ack, ack.ts_echo, ack.sack, ack.ece, pkt.src, ctx);
             }
             if res.arm_delack {
                 self.delack_gen += 1;
@@ -471,7 +494,7 @@ impl Agent for TcpSink {
         if token == self.delack_gen {
             if let Some(ack) = self.receiver.on_delack_timer() {
                 if let Some(to) = self.delack_to {
-                    self.send_ack(ack.ack, ack.ts_echo, ack.sack, to, ctx);
+                    self.send_ack(ack.ack, ack.ts_echo, ack.sack, ack.ece, to, ctx);
                 }
             }
         }

@@ -1,9 +1,51 @@
-//! Congestion-control algorithms.
+//! Congestion-control algorithms: the window-adjustment zoo.
 //!
-//! The window-adjustment rules are factored out of the sender so Reno,
-//! NewReno and a fixed-window control (used to validate the plumbing) share
-//! one sender state machine. All windows are in segments and fractional
-//! (`f64`) so congestion avoidance can add `1/cwnd` per ACK exactly.
+//! The window-adjustment rules are factored out of the sender so every
+//! algorithm shares one sender state machine ([`TcpSender`] or
+//! [`SackSender`]): the sender owns sequence-space bookkeeping
+//! (what is outstanding, what was retransmitted) and calls into a
+//! [`CongestionControl`] at each window-relevant event. All windows are in
+//! segments and fractional (`f64`) so congestion avoidance can add
+//! `1/cwnd` per ACK exactly, matching ns-2.
+//!
+//! ## The zoo at a glance
+//!
+//! Five algorithms are implemented. They differ in three dimensions:
+//! *growth* (how `cwnd` climbs between losses), *decrease* (the
+//! multiplicative back-off applied on congestion), and *signal* (what
+//! counts as congestion — a lost segment, or an ECN mark):
+//!
+//! | Algorithm       | Growth per RTT (avoidance) | Decrease on loss  | ECN response            | Recovery style |
+//! |-----------------|----------------------------|-------------------|-------------------------|----------------|
+//! | [`Reno`]        | `+1`                       | `cwnd/2`          | `cwnd/2` (RFC 3168)     | Reno           |
+//! | [`NewReno`]     | `+1`                       | `cwnd/2`          | `cwnd/2` (RFC 3168)     | NewReno        |
+//! | [`Cubic`]       | cubic in time since loss   | `0.7·cwnd`        | `cwnd/2` (default hook) | NewReno        |
+//! | [`Dctcp`]       | `+1` (Reno growth)         | `cwnd/2`          | `cwnd·(1 − α/2)`        | NewReno        |
+//! | [`FixedWindow`] | none (constant)            | none              | none (window restored)  | None           |
+//!
+//! The sawtooth shape is what the buffer-sizing rule of the paper feeds
+//! on: a Reno flow oscillates between `W/2` and `W`, which is why a
+//! single flow needs `RTT·C` of buffer and `n` desynchronised flows need
+//! only `RTT·C/√n`. CUBIC's shallower β = 0.7 sawtooth and DCTCP's
+//! α-proportional back-off change the excursion amplitude, and the
+//! `ext_cca` experiment measures how that moves each algorithm's minimum
+//! buffer requirement.
+//!
+//! ## The ECN contract
+//!
+//! Congestion signalled by a mark (not a drop) reaches the algorithm via
+//! [`CongestionControl::on_ecn_mark`]. The default implementation is the
+//! classic RFC 3168 response — treat a marked ACK like a loss, without
+//! the retransmission — so Reno/NewReno/Cubic need no override. DCTCP
+//! overrides it to scale the decrease by the fraction `α` of marked
+//! segments, which the *sender* estimates (the EWMA lives in the
+//! `FlowTable`, not here — hot per-flow state stays in the
+//! struct-of-arrays layout; the algorithm object stays stateless across
+//! flows). The sender guarantees at most one `on_ecn_mark` per window of
+//! data, mirroring the once-per-RTT loss reaction.
+//!
+//! [`TcpSender`]: crate::sender::TcpSender
+//! [`SackSender`]: crate::sack::SackSender
 
 /// The mutable window state the algorithms operate on.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,9 +101,42 @@ pub trait CongestionControl: std::fmt::Debug + Send {
 
     /// Called on a retransmission timeout.
     fn on_timeout(&mut self, s: &mut CcState, flight: f64);
+
+    /// Called at most once per window of data when the sender receives an
+    /// ECN-Echo (a CE mark reflected by the receiver). `alpha` is the
+    /// sender's running estimate of the fraction of segments marked in the
+    /// last observation window (1.0 when no estimator runs).
+    ///
+    /// The default is the conservative RFC 3168 response: react exactly as
+    /// to a fast-retransmit loss, minus the retransmission. Algorithms
+    /// with a gentler mark response (DCTCP) override this.
+    fn on_ecn_mark(&mut self, s: &mut CcState, flight: f64, alpha: f64) {
+        let _ = alpha;
+        halve_on_loss(s, flight);
+    }
 }
 
 /// TCP Reno: AIMD with slow start.
+///
+/// The paper's reference algorithm: additive increase of one segment per
+/// RTT, multiplicative decrease to half on any loss signal. Its `W/2 ↔ W`
+/// sawtooth is the geometry behind the `RTT·C/√n` rule.
+///
+/// ```
+/// use tcpsim::cc::{CcState, CongestionControl, Reno};
+///
+/// let mut cc = Reno;
+/// let mut s = CcState::new(2.0);
+/// // Slow start: +1 per ACK doubles the window each RTT.
+/// for _ in 0..2 {
+///     cc.on_ack_segment(&mut s);
+/// }
+/// assert_eq!(s.cwnd, 4.0);
+/// // Loss halves the window.
+/// let flight = s.cwnd;
+/// cc.on_fast_retransmit(&mut s, flight);
+/// assert_eq!(s.cwnd, 2.0);
+/// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Reno;
 
@@ -99,6 +174,21 @@ impl CongestionControl for Reno {
 }
 
 /// TCP NewReno: Reno windows + partial-ACK recovery (RFC 6582).
+///
+/// Identical window arithmetic to [`Reno`]; the difference is entirely in
+/// [`RecoveryStyle::NewReno`] — partial ACKs during recovery retransmit
+/// the next hole instead of terminating recovery, so a multi-loss window
+/// costs one fast retransmit rather than a timeout.
+///
+/// ```
+/// use tcpsim::cc::{CcState, CongestionControl, NewReno, RecoveryStyle};
+///
+/// let mut cc = NewReno;
+/// let mut s = CcState::new(2.0);
+/// cc.on_ack_segment(&mut s);
+/// assert_eq!(s.cwnd, 3.0); // same growth as Reno…
+/// assert_eq!(cc.style(), RecoveryStyle::NewReno); // …different recovery
+/// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NewReno;
 
@@ -123,6 +213,16 @@ impl CongestionControl for NewReno {
 
 /// A constant window: no reaction to loss. Used to validate queueing
 /// behaviour (e.g. a fixed window of BDP+B keeps the buffer exactly full).
+///
+/// ```
+/// use tcpsim::cc::{CcState, CongestionControl, FixedWindow};
+///
+/// let mut cc = FixedWindow::new(16.0);
+/// let mut s = CcState::new(16.0);
+/// cc.on_ack_segment(&mut s);
+/// cc.on_timeout(&mut s, 16.0);
+/// assert_eq!(s.cwnd, 16.0); // nothing moves it
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct FixedWindow {
     /// The constant window, in segments.
@@ -266,6 +366,21 @@ mod tests {
 /// approximate elapsed time by accumulating the connection's smoothed
 /// per-ACK interval — adequate for the buffer-sizing experiments, which
 /// care about the *shape* of the decrease, not microsecond growth timing.
+///
+/// ```
+/// use tcpsim::cc::{CcState, CongestionControl, Cubic};
+///
+/// let mut cc = Cubic::new(0.01);
+/// let mut s = CcState { cwnd: 100.0, ssthresh: f64::INFINITY };
+/// cc.on_fast_retransmit(&mut s, 100.0);
+/// assert_eq!(s.cwnd, 70.0); // β = 0.7: shallower than Reno's half
+/// // The concave region then climbs back toward w_max = 100.
+/// let after_drop = s.cwnd;
+/// for _ in 0..500 {
+///     cc.on_ack_segment(&mut s);
+/// }
+/// assert!(s.cwnd > after_drop);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Cubic {
     /// Window before the last reduction.
@@ -418,5 +533,147 @@ mod cubic_tests {
         cubic.on_timeout(&mut s, 40.0);
         assert_eq!(s.cwnd, 1.0);
         assert!((s.ssthresh - 28.0).abs() < 1e-9);
+    }
+}
+
+/// DCTCP (Data Center TCP, SIGCOMM 2010 / RFC 8257) — an *extension*
+/// beyond the paper: congestion control that reacts to the *extent* of
+/// congestion, not just its presence. A DCTCP switch marks (CE) every
+/// packet that arrives to a queue at or above a step threshold `K`; the
+/// sender keeps an EWMA `α` of the fraction of its segments marked per
+/// window and cuts `cwnd` by `α/2` — a full halving under persistent
+/// congestion, a trim of a few percent when only the tail of a burst
+/// crossed `K`. The result is a near-constant queue at `K`, which makes
+/// it the interesting stress case for `RTT·C/√n`: the sawtooth the rule
+/// is derived from mostly disappears.
+///
+/// The α estimator itself lives in the sender's `FlowTable` arrays
+/// (per-flow hot state, updated once per observation window); this object
+/// only encodes the *response*. Outside of marks DCTCP grows exactly like
+/// Reno, and on actual loss it falls back to the standard halving, so its
+/// loss behaviour is NewReno-style.
+///
+/// ```
+/// use tcpsim::cc::{CcState, CongestionControl, Dctcp};
+///
+/// let mut cc = Dctcp;
+/// let mut s = CcState { cwnd: 100.0, ssthresh: f64::INFINITY };
+/// // Mild congestion: 10% of the window was marked.
+/// cc.on_ecn_mark(&mut s, 100.0, 0.1);
+/// assert_eq!(s.cwnd, 95.0); // cwnd · (1 − α/2)
+/// // Persistent congestion (α = 1) degenerates to Reno's halving.
+/// cc.on_ecn_mark(&mut s, 95.0, 1.0);
+/// assert_eq!(s.cwnd, 47.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dctcp;
+
+impl Dctcp {
+    /// RFC 8257 EWMA gain `g` for the α estimator (the sender applies
+    /// `α ← (1 − g)·α + g·F` once per observation window, `F` = fraction
+    /// of segments marked in that window).
+    pub const G: f64 = 1.0 / 16.0;
+}
+
+impl CongestionControl for Dctcp {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+    fn style(&self) -> RecoveryStyle {
+        RecoveryStyle::NewReno
+    }
+    fn on_ack_segment(&mut self, s: &mut CcState) {
+        reno_ack_segment(s);
+    }
+    fn on_fast_retransmit(&mut self, s: &mut CcState, flight: f64) {
+        // Actual loss means the signal chain failed (queue overflowed past
+        // the marking step): fall back to the standard halving.
+        halve_on_loss(s, flight);
+    }
+    fn on_timeout(&mut self, s: &mut CcState, flight: f64) {
+        s.ssthresh = (flight / 2.0).max(2.0);
+        s.cwnd = 1.0;
+    }
+    // simlint: hot-path — once per CWR-gated window on marked ACKs
+    fn on_ecn_mark(&mut self, s: &mut CcState, _flight: f64, alpha: f64) {
+        // RFC 8257 §3.3: cwnd ← cwnd · (1 − α/2), with the usual floor.
+        s.ssthresh = (s.cwnd * (1.0 - alpha / 2.0)).max(2.0);
+        s.cwnd = s.ssthresh;
+    }
+}
+
+#[cfg(test)]
+mod dctcp_tests {
+    use super::*;
+
+    #[test]
+    fn mark_response_scales_with_alpha() {
+        let mut cc = Dctcp;
+        let mut s = CcState {
+            cwnd: 80.0,
+            ssthresh: f64::INFINITY,
+        };
+        cc.on_ecn_mark(&mut s, 80.0, 0.25);
+        assert_eq!(s.cwnd, 70.0); // 80 · (1 − 0.125)
+        assert_eq!(s.ssthresh, 70.0);
+        cc.on_ecn_mark(&mut s, 70.0, 1.0);
+        assert_eq!(s.cwnd, 35.0); // α = 1 halves, like Reno
+    }
+
+    #[test]
+    fn mark_response_floors_at_two() {
+        let mut cc = Dctcp;
+        let mut s = CcState {
+            cwnd: 2.5,
+            ssthresh: 4.0,
+        };
+        cc.on_ecn_mark(&mut s, 2.5, 1.0);
+        assert_eq!(s.cwnd, 2.0);
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = Dctcp;
+        let mut s = CcState {
+            cwnd: 40.0,
+            ssthresh: f64::INFINITY,
+        };
+        cc.on_fast_retransmit(&mut s, 40.0);
+        assert_eq!(s.cwnd, 20.0);
+        cc.on_timeout(&mut s, 20.0);
+        assert_eq!(s.cwnd, 1.0);
+    }
+
+    #[test]
+    fn growth_matches_reno() {
+        let mut d = Dctcp;
+        let mut r = Reno;
+        let mut sd = CcState::new(2.0);
+        let mut sr = CcState::new(2.0);
+        for _ in 0..50 {
+            d.on_ack_segment(&mut sd);
+            r.on_ack_segment(&mut sr);
+        }
+        assert_eq!(sd, sr);
+    }
+
+    #[test]
+    fn default_ecn_response_is_classic_halving() {
+        // Reno does not override on_ecn_mark: a mark acts like a loss.
+        let mut cc = Reno;
+        let mut s = CcState {
+            cwnd: 30.0,
+            ssthresh: f64::INFINITY,
+        };
+        cc.on_ecn_mark(&mut s, 30.0, 1.0);
+        assert_eq!(s.cwnd, 15.0);
+        // α is ignored by the classic response.
+        let mut s2 = CcState {
+            cwnd: 30.0,
+            ssthresh: f64::INFINITY,
+        };
+        let mut cc2 = Reno;
+        cc2.on_ecn_mark(&mut s2, 30.0, 0.01);
+        assert_eq!(s2.cwnd, 15.0);
     }
 }

@@ -29,6 +29,11 @@ pub struct TcpConfig {
     pub delayed_ack: bool,
     /// Receiver: delayed-ACK flush timeout.
     pub delack_timeout: SimDuration,
+    /// ECN: negotiate ECT on data segments, echo CE marks as ECE, and run
+    /// the sender's mark-response path (RFC 3168 / RFC 8257). Off by
+    /// default — with it off the simulation is byte-identical to builds
+    /// that predate ECN support.
+    pub ecn: bool,
 }
 
 impl Default for TcpConfig {
@@ -43,6 +48,7 @@ impl Default for TcpConfig {
             initial_rto: SimDuration::from_secs(1),
             delayed_ack: false,
             delack_timeout: SimDuration::from_millis(100),
+            ecn: false,
         }
     }
 }
@@ -71,6 +77,12 @@ impl TcpConfig {
         self.delayed_ack = true;
         self
     }
+
+    /// Config with ECN enabled (ECT data, ECE echo, mark response).
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +96,7 @@ mod tests {
         assert_eq!(c.initial_cwnd, 2.0);
         assert_eq!(c.dupack_threshold, 3);
         assert!(!c.delayed_ack);
+        assert!(!c.ecn, "ECN must be strictly opt-in");
     }
 
     #[test]

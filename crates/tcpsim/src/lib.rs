@@ -9,9 +9,13 @@
 //!   simplicity of presentation*" — §2). Each data segment is one wire
 //!   packet of `data_size` bytes; ACKs are 40 bytes.
 //! * **Congestion control**: slow start, congestion avoidance, fast
-//!   retransmit and fast recovery, with [`cc::Reno`] and [`cc::NewReno`]
-//!   flavors plus a [`cc::FixedWindow`] used for validation. Timeout
-//!   recovery with exponential RTO backoff (Jacobson/Karn, [`rtt`]).
+//!   retransmit and fast recovery, with a pluggable algorithm zoo —
+//!   [`cc::Reno`], [`cc::NewReno`], [`cc::Cubic`], [`cc::Dctcp`] and a
+//!   [`cc::FixedWindow`] used for validation (see [`cc`] for the
+//!   comparison table). Timeout recovery with exponential RTO backoff
+//!   (Jacobson/Karn, [`rtt`]), SACK-based recovery ([`sack`]), and an
+//!   opt-in ECN path (`TcpConfig::with_ecn`): ECT-capable data, receiver
+//!   CE→ECE echo, sender CWR, and the DCTCP mark-fraction estimator.
 //! * **Pure state machines**: [`sender::TcpSender`] and
 //!   [`receiver::TcpReceiver`] know nothing about the network — they consume
 //!   events and return actions, so every corner case is unit-testable
@@ -19,10 +23,12 @@
 //!   them to `netsim`'s [`Agent`](netsim::Agent) API.
 //!
 //! What is deliberately *not* modeled (as in ns-2 and the paper): the 3-way
-//! handshake, byte-granularity sequence space, SACK, ECN, and window
-//! scaling's interaction with rwnd (the receiver window is a constant
-//! segment cap, which is exactly the paper's "maximum window size of TCP"
-//! in §4).
+//! handshake, byte-granularity sequence space, and window scaling's
+//! interaction with rwnd (the receiver window is a constant segment cap,
+//! which is exactly the paper's "maximum window size of TCP" in §4).
+//! ECN is strictly opt-in: with `cfg.ecn` off, data is sent Not-ECT, ACKs
+//! never carry ECE, and every simulation artifact is byte-identical to
+//! builds that predate ECN support.
 
 
 #![warn(missing_docs)]
@@ -39,7 +45,7 @@ pub mod span;
 pub mod table;
 
 pub use agent::{FlowRecord, TcpSink, TcpSource};
-pub use cc::{CcState, CongestionControl, Cubic, FixedWindow, NewReno, Reno};
+pub use cc::{CcState, CongestionControl, Cubic, Dctcp, FixedWindow, NewReno, Reno};
 pub use config::TcpConfig;
 pub use machine::{AckInfo, SenderMachine};
 pub use receiver::TcpReceiver;

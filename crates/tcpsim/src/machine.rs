@@ -17,15 +17,19 @@ pub struct AckInfo {
     pub ts_echo: SimTime,
     /// SACK blocks (empty for non-SACK receivers).
     pub sack: SackRanges,
+    /// ECN-Echo: the receiver saw a CE mark since its last ACK
+    /// (always `false` on non-ECN connections).
+    pub ece: bool,
 }
 
 impl AckInfo {
-    /// A plain cumulative ACK with no SACK information.
+    /// A plain cumulative ACK with no SACK information and no ECE.
     pub fn plain(ack: u64, ts_echo: SimTime) -> Self {
         AckInfo {
             ack,
             ts_echo,
             sack: SackRanges::default(),
+            ece: false,
         }
     }
 }
@@ -79,6 +83,13 @@ pub trait SenderMachine {
     fn rtt(&self) -> RttEstimator;
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
+    /// Consumes the pending CWR flag: true exactly once after an
+    /// ECE-triggered window reduction, telling the agent to stamp CWR on
+    /// the next outgoing data segment. Default: never (machines without an
+    /// ECN response path).
+    fn take_cwr(&mut self) -> bool {
+        false
+    }
 }
 
 impl SenderMachine for TcpSender {
@@ -90,7 +101,7 @@ impl SenderMachine for TcpSender {
     }
     fn on_ack(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
         // The Reno-family sender ignores SACK blocks.
-        TcpSender::on_ack_into(self, now, info.ack, info.ts_echo, out)
+        TcpSender::on_ack_ecn_into(self, now, info.ack, info.ts_echo, info.ece, out)
     }
     fn on_rto(&mut self, now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
         TcpSender::on_rto_into(self, now, gen, out)
@@ -124,6 +135,9 @@ impl SenderMachine for TcpSender {
     }
     fn name(&self) -> &'static str {
         self.cc_name()
+    }
+    fn take_cwr(&mut self) -> bool {
+        TcpSender::take_cwr(self)
     }
 }
 

@@ -46,6 +46,9 @@ pub struct AckToSend {
     /// SACK blocks describing out-of-order data held above `ack`
     /// (RFC 2018; empty when the receiver has no holes).
     pub sack: SackRanges,
+    /// ECN-Echo: at least one CE-marked segment arrived since the last ACK
+    /// this receiver emitted (see [`TcpReceiver::on_ecn`]).
+    pub ece: bool,
 }
 
 /// Result of processing one data segment.
@@ -80,6 +83,14 @@ pub struct TcpReceiver {
     completed_at: Option<SimTime>,
     /// Earliest `created` timestamp among received segments (≈ flow start).
     first_created: Option<SimTime>,
+    /// A CE-marked segment arrived and no ACK has echoed it yet. Consumed
+    /// when an ACK is *emitted* (not when one is withheld), so a delayed
+    /// ACK aggregates the marks of its whole window — the per-mark-precise
+    /// echo DCTCP's fraction estimator needs, and a conservative superset
+    /// of the RFC 3168 hold-until-CWR echo for classic ECN.
+    ce_pending: bool,
+    /// CWR-flagged data segments seen (sender acknowledged an ECE).
+    cwr_seen: u64,
 }
 
 impl TcpReceiver {
@@ -97,6 +108,8 @@ impl TcpReceiver {
             out_of_order: 0,
             completed_at: None,
             first_created: None,
+            ce_pending: false,
+            cwr_seen: 0,
         }
     }
 
@@ -135,6 +148,32 @@ impl TcpReceiver {
         self.first_created
     }
 
+    /// CWR-flagged data segments seen so far.
+    pub fn cwr_seen(&self) -> u64 {
+        self.cwr_seen
+    }
+
+    /// Records the ECN bits of an arriving data segment; the agent calls
+    /// this before [`TcpReceiver::on_data`]. A CE mark latches `ece` for
+    /// the next emitted ACK (the latch survives ACK withholding and clears
+    /// only when an ACK actually goes out).
+    // simlint: hot-path — once per data segment on ECN-enabled flows
+    pub fn on_ecn(&mut self, ce: bool, cwr: bool) {
+        if ce {
+            self.ce_pending = true;
+        }
+        if cwr {
+            self.cwr_seen += 1;
+        }
+    }
+
+    /// Consumes the CE latch into an outgoing ACK's `ece` bit.
+    // simlint: hot-path — once per emitted ACK
+    #[inline]
+    fn take_ece(&mut self) -> bool {
+        std::mem::take(&mut self.ce_pending)
+    }
+
     /// Processes a data segment.
     ///
     /// * `seq` — unwrapped segment number;
@@ -161,6 +200,7 @@ impl TcpReceiver {
                 ack: self.rcv_nxt,
                 ts_echo: ts,
                 sack: self.sack_ranges(seq),
+                ece: self.take_ece(),
             });
             return result;
         }
@@ -189,14 +229,18 @@ impl TcpReceiver {
                             ack: self.rcv_nxt,
                             ts_echo: ts,
                             sack: self.sack_ranges(seq),
+                            ece: self.take_ece(),
                         });
                     }
                     None => {
-                        // Withhold; the agent arms the delack timer.
+                        // Withhold; the agent arms the delack timer. The CE
+                        // latch is NOT consumed here — `ece` is stamped when
+                        // the ACK is actually emitted.
                         self.pending = Some(AckToSend {
                             ack: self.rcv_nxt,
                             ts_echo: ts,
                             sack: SackRanges::default(),
+                            ece: false,
                         });
                         result.arm_delack = true;
                     }
@@ -207,6 +251,7 @@ impl TcpReceiver {
                     ack: self.rcv_nxt,
                     ts_echo: ts,
                     sack: self.sack_ranges(seq),
+                    ece: self.take_ece(),
                 });
             }
         } else {
@@ -218,6 +263,7 @@ impl TcpReceiver {
                 ack: self.rcv_nxt,
                 ts_echo: ts,
                 sack: self.sack_ranges(seq),
+                ece: self.take_ece(),
             });
         }
         result
@@ -225,7 +271,9 @@ impl TcpReceiver {
 
     /// Delayed-ACK timer expiry: release any withheld ACK.
     pub fn on_delack_timer(&mut self) -> Option<AckToSend> {
-        self.pending.take()
+        let mut ack = self.pending.take()?;
+        ack.ece = self.take_ece();
+        Some(ack)
     }
 
     /// Builds the SACK option for an outgoing ACK. The first block is the
@@ -399,6 +447,49 @@ mod tests {
         let mut r = rx();
         let res = r.on_data(t(10), 0, false, t(3), t(0));
         assert_eq!(res.ack.unwrap().ts_echo, t(3));
+    }
+
+    #[test]
+    fn ce_latches_into_next_ack_then_clears() {
+        let mut r = rx();
+        r.on_ecn(true, false);
+        let res = r.on_data(t(0), 0, false, t(0), t(0));
+        assert!(res.ack.unwrap().ece, "CE must echo as ECE");
+        // Latch consumed: the next un-marked segment ACKs clean.
+        let res = r.on_data(t(1), 1, false, t(0), t(0));
+        assert!(!res.ack.unwrap().ece);
+        // CWR observations are counted, never echoed.
+        r.on_ecn(false, true);
+        assert_eq!(r.cwr_seen(), 1);
+        let res = r.on_data(t(2), 2, false, t(0), t(0));
+        assert!(!res.ack.unwrap().ece);
+    }
+
+    #[test]
+    fn ce_latch_survives_delack_withholding() {
+        let mut r = TcpReceiver::new(true);
+        // CE on the first (withheld) segment: the latch must not be lost
+        // when the second segment's released ACK is built.
+        r.on_ecn(true, false);
+        let res = r.on_data(t(0), 0, false, t(0), t(0));
+        assert!(res.ack.is_none() && res.arm_delack);
+        let res = r.on_data(t(1), 1, false, t(0), t(0));
+        assert!(res.ack.unwrap().ece, "delayed ACK aggregates the CE mark");
+    }
+
+    #[test]
+    fn delack_timer_carries_pending_ece() {
+        let mut r = TcpReceiver::new(true);
+        r.on_ecn(true, false);
+        r.on_data(t(0), 0, false, t(0), t(0));
+        let ack = r.on_delack_timer().unwrap();
+        assert!(ack.ece);
+        // Dup ACKs echo the latch too.
+        let mut d = rx();
+        d.on_data(t(0), 0, false, t(0), t(0));
+        d.on_ecn(true, false);
+        let res = d.on_data(t(1), 0, false, t(0), t(0));
+        assert!(res.ack.unwrap().ece);
     }
 }
 

@@ -414,6 +414,10 @@ impl SenderMachine for SackSender {
         SackSender::start_into(self, now, out)
     }
     fn on_ack(&mut self, now: SimTime, info: &AckInfo, out: &mut Vec<TcpAction>) {
+        // `info.ece` is deliberately ignored: the SACK sender has no ECN
+        // response path (it relies on its scoreboard for loss signals), so
+        // ECN-enabled scenarios pair ECN with the Reno-family machines.
+        // take_cwr() keeps its `false` default for the same reason.
         SackSender::on_ack_into(self, now, info, out)
     }
     fn on_rto(&mut self, now: SimTime, gen: u64, out: &mut Vec<TcpAction>) {
@@ -481,6 +485,7 @@ mod tests {
             ack,
             ts_echo: SimTime::ZERO,
             sack,
+            ece: false,
         }
     }
 

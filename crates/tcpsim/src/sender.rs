@@ -14,7 +14,11 @@
 //!   [`RecoveryStyle`];
 //! * go-back-N retransmission after a timeout (ns-2 semantics: `t_seqno_`
 //!   falls back to the highest ACK), with exponential RTO backoff;
-//! * RTT sampling from timestamp echoes, so Karn ambiguity never arises.
+//! * RTT sampling from timestamp echoes, so Karn ambiguity never arises;
+//! * an opt-in ECN path (`cfg.ecn`): ECE-carrying ACKs run the DCTCP α
+//!   estimator and trigger the algorithm's
+//!   [`CongestionControl::on_ecn_mark`] at most once per window of data,
+//!   setting CWR on the next outgoing segment.
 //!
 //! Per-flow state lives in a [`FlowTable`]: the
 //! sender itself is a thin view (configuration + a table slot), so
@@ -272,12 +276,31 @@ impl TcpSender {
 
     /// Processes a cumulative ACK. `ts_echo` is the send timestamp echoed by
     /// the receiver (for RTT sampling). Actions are appended to `out`.
+    /// Equivalent to [`TcpSender::on_ack_ecn_into`] with `ece = false`.
     // simlint: hot-path — once per ACK
     pub fn on_ack_into(
         &mut self,
         now: SimTime,
         ack: u64,
         ts_echo: SimTime,
+        out: &mut Vec<TcpAction>,
+    ) {
+        self.on_ack_ecn_into(now, ack, ts_echo, false, out)
+    }
+
+    /// Processes a cumulative ACK carrying an ECN-Echo indication. On
+    /// ECN-enabled connections (`cfg.ecn`) this runs the DCTCP α
+    /// bookkeeping and, gated to once per window of data, the algorithm's
+    /// [`CongestionControl::on_ecn_mark`] response; with ECN off the `ece`
+    /// flag is ignored entirely and behaviour is bit-identical to
+    /// [`TcpSender::on_ack_into`].
+    // simlint: hot-path — once per ACK
+    pub fn on_ack_ecn_into(
+        &mut self,
+        now: SimTime,
+        ack: u64,
+        ts_echo: SimTime,
+        ece: bool,
         out: &mut Vec<TcpAction>,
     ) {
         let table = self.table.clone();
@@ -300,6 +323,40 @@ impl TcpSender {
         // Timestamp echo gives an unambiguous RTT sample on every ACK.
         if ts_echo <= now {
             t.rtt[i].sample(now.since(ts_echo));
+        }
+
+        if self.cfg.ecn {
+            // DCTCP α estimator (RFC 8257 §3.3): count acked vs marked
+            // segments, fold the fraction into the EWMA once per window of
+            // data. Runs for every algorithm on ECN flows (cheap, and the
+            // estimate is simply unused unless on_ecn_mark consumes it).
+            // simlint: hot-path — once per ACK on ECN-enabled flows
+            let newly = ack.saturating_sub(t.snd_una[i]);
+            if newly > 0 {
+                t.ecn_acked[i] += newly;
+                if ece {
+                    t.ecn_marked[i] += newly;
+                }
+                if ack >= t.ecn_obs_end[i] {
+                    let frac = t.ecn_marked[i] as f64 / t.ecn_acked[i] as f64;
+                    let g = crate::cc::Dctcp::G;
+                    t.ecn_alpha[i] = (1.0 - g) * t.ecn_alpha[i] + g * frac;
+                    t.ecn_acked[i] = 0;
+                    t.ecn_marked[i] = 0;
+                    t.ecn_obs_end[i] = t.next_seq[i];
+                }
+            }
+            // ECE response, once per window of data (mirrors the
+            // high_water gate on loss recovery): suppressed while already
+            // in recovery — the loss reduction covers this window — and
+            // until everything outstanding at the last reduction is acked.
+            if ece && !t.recovery[i] && ack >= t.ecn_cwr_end[i] {
+                let flight = self.flight_in(t) as f64;
+                let alpha = t.ecn_alpha[i];
+                self.cc.on_ecn_mark(&mut t.ccs[i], flight, alpha);
+                t.ecn_cwr_end[i] = t.next_seq[i];
+                t.cwr_pending[i] = true;
+            }
         }
 
         if ack > t.snd_una[i] {
@@ -402,6 +459,19 @@ impl TcpSender {
         let mut out = Vec::new();
         self.on_ack_into(now, ack, ts_echo, &mut out);
         out
+    }
+
+    /// Consumes the pending CWR flag: true exactly once after each
+    /// ECE-triggered window reduction. The agent stamps the next outgoing
+    /// data segment with CWR so the receiver can stop echoing.
+    pub fn take_cwr(&mut self) -> bool {
+        std::mem::take(&mut self.table.table_mut().cwr_pending[self.slot.index()])
+    }
+
+    /// The DCTCP mark-fraction estimate α (diagnostics/tests; 1.0 until
+    /// the first observation window completes).
+    pub fn ecn_alpha(&self) -> f64 {
+        self.table.table().ecn_alpha[self.slot.index()]
     }
 
     /// Processes a retransmission-timeout expiry for timer generation `gen`.
@@ -897,6 +967,80 @@ mod edge_case_tests {
         }
         assert_eq!(s.stats().retransmits, retx_after_entry);
         assert_eq!(s.stats().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn ece_reduces_once_per_window() {
+        use crate::cc::Dctcp;
+        let cfg = TcpConfig::default().with_ecn();
+        let mut s = TcpSender::new(cfg, Box::new(Dctcp), None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10)); // cwnd 6, flight 6 (4..10)
+        let cwnd0 = s.cwnd();
+        let mut out = Vec::new();
+        // First ECE: reduce, set CWR.
+        s.on_ack_ecn_into(t(30), 5, t(20), true, &mut out);
+        let cwnd1 = s.cwnd();
+        assert!(cwnd1 < cwnd0, "ECE must shrink cwnd");
+        assert!(s.take_cwr(), "reduction sets the CWR flag");
+        assert!(!s.take_cwr(), "flag is consumed");
+        // More ECE within the same window: suppressed.
+        s.on_ack_ecn_into(t(31), 6, t(20), true, &mut out);
+        assert!(s.cwnd() >= cwnd1, "no second reduction inside the window");
+        assert!(!s.take_cwr(), "no second reduction inside the window");
+    }
+
+    #[test]
+    fn ece_ignored_when_ecn_disabled() {
+        let mut s = TcpSender::new(TcpConfig::default(), Box::new(Reno), None);
+        let mut plain = TcpSender::new(TcpConfig::default(), Box::new(Reno), None);
+        s.start(t(0));
+        plain.start(t(0));
+        let mut out = Vec::new();
+        s.on_ack_ecn_into(t(10), 1, t(0), true, &mut out);
+        plain.on_ack(t(10), 1, t(0));
+        assert_eq!(s.cwnd(), plain.cwnd());
+        assert!(!s.take_cwr());
+        assert_eq!(s.ecn_alpha(), 1.0, "estimator never runs with ECN off");
+    }
+
+    #[test]
+    fn alpha_tracks_mark_fraction() {
+        use crate::cc::Dctcp;
+        let cfg = TcpConfig::default().with_ecn().with_max_window(4);
+        let mut s = TcpSender::new(cfg, Box::new(Dctcp), None);
+        s.start(t(0));
+        // Long run of unmarked windows: α decays toward 0.
+        let mut ack = 0;
+        for i in 0..400 {
+            ack += 1;
+            let mut out = Vec::new();
+            s.on_ack_ecn_into(t(10 * (i + 1)), ack, t(10 * i), false, &mut out);
+        }
+        assert!(s.ecn_alpha() < 0.01, "α = {}", s.ecn_alpha());
+        // A fully marked stretch pulls it back up.
+        for i in 400..460 {
+            ack += 1;
+            let mut out = Vec::new();
+            s.on_ack_ecn_into(t(10 * (i + 1)), ack, t(10 * i), true, &mut out);
+        }
+        assert!(s.ecn_alpha() > 0.5, "α = {}", s.ecn_alpha());
+        assert!(s.ecn_alpha() <= 1.0);
+    }
+
+    #[test]
+    fn classic_ecn_halves_like_loss() {
+        let cfg = TcpConfig::default().with_ecn();
+        let mut s = TcpSender::new(cfg, Box::new(Reno), None);
+        s.start(t(0));
+        s.on_ack(t(10), 2, t(0));
+        s.on_ack(t(20), 4, t(10)); // flight 6
+        let mut out = Vec::new();
+        s.on_ack_ecn_into(t(30), 5, t(20), true, &mut out);
+        // Default on_ecn_mark = halve_on_loss(flight): flight was 6 → 3.
+        assert_eq!(s.ssthresh(), 3.0);
+        assert!(s.take_cwr());
     }
 
     #[test]

@@ -92,6 +92,23 @@ pub struct FlowTable {
     pub(crate) rto_gen: Vec<u64>,
     /// RTT estimator + RTO backoff state.
     pub(crate) rtt: Vec<RttEstimator>,
+    /// DCTCP EWMA estimate of the fraction of segments marked (RFC 8257
+    /// `α`). Initialised to 1.0 so the first marked window reacts fully.
+    pub(crate) ecn_alpha: Vec<f64>,
+    /// Segments acknowledged in the current α observation window.
+    pub(crate) ecn_acked: Vec<u64>,
+    /// Of those, segments whose ACK carried ECE.
+    pub(crate) ecn_marked: Vec<u64>,
+    /// Sequence ending the current α observation window (`next_seq` at the
+    /// time the window opened; the update fires when `snd_una` passes it).
+    pub(crate) ecn_obs_end: Vec<u64>,
+    /// Sequence ending the current CWR episode: ECE-triggered window
+    /// reductions are suppressed until `snd_una` passes this point, giving
+    /// the standard once-per-window-of-data mark reaction.
+    pub(crate) ecn_cwr_end: Vec<u64>,
+    /// A window reduction happened and the next outgoing data segment must
+    /// carry the CWR flag to tell the receiver its echo was heard.
+    pub(crate) cwr_pending: Vec<bool>,
     /// Cold side table, same slot indexing.
     pub(crate) cold: Vec<ColdFlow>,
 }
@@ -116,6 +133,12 @@ impl FlowTable {
         self.rto_gen.push(0);
         self.rtt
             .push(RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto));
+        self.ecn_alpha.push(1.0);
+        self.ecn_acked.push(0);
+        self.ecn_marked.push(0);
+        self.ecn_obs_end.push(0);
+        self.ecn_cwr_end.push(0);
+        self.cwr_pending.push(false);
         self.cold.push(ColdFlow::default());
         slot
     }
@@ -144,6 +167,12 @@ impl FlowTable {
     /// Outstanding (sent, unacked) segments of `slot`.
     pub fn flight(&self, slot: FlowSlot) -> u64 {
         self.next_seq[slot.index()] - self.snd_una[slot.index()]
+    }
+
+    /// DCTCP mark-fraction estimate `α` of `slot` (1.0 until the first
+    /// observation window completes; meaningful only on ECN flows).
+    pub fn ecn_alpha(&self, slot: FlowSlot) -> f64 {
+        self.ecn_alpha[slot.index()]
     }
 }
 
@@ -174,6 +203,12 @@ impl SharedFlowTable {
         t.recovery.reserve(additional);
         t.rto_gen.reserve(additional);
         t.rtt.reserve(additional);
+        t.ecn_alpha.reserve(additional);
+        t.ecn_acked.reserve(additional);
+        t.ecn_marked.reserve(additional);
+        t.ecn_obs_end.reserve(additional);
+        t.ecn_cwr_end.reserve(additional);
+        t.cwr_pending.reserve(additional);
         t.cold.reserve(additional);
     }
 

@@ -9,7 +9,7 @@
 use crate::workload::FlowHandle;
 use netsim::{DumbbellView, FlowId, Sim};
 use simcore::{Rng, SimDuration};
-use tcpsim::cc::{CongestionControl, Cubic, NewReno, Reno};
+use tcpsim::cc::{CongestionControl, Cubic, Dctcp, NewReno, Reno};
 use tcpsim::{
     SackSender, SenderMachine, SharedFlowTable, TcpConfig, TcpSender, TcpSink, TcpSource,
 };
@@ -23,6 +23,11 @@ pub enum CcKind {
     NewReno,
     /// CUBIC (RFC 8312) — extension beyond the paper.
     Cubic,
+    /// DCTCP (RFC 8257) — extension beyond the paper; pair with an
+    /// ECN-enabled `TcpConfig` and a step-marking bottleneck queue,
+    /// otherwise it behaves exactly like Reno growth with NewReno
+    /// recovery.
+    Dctcp,
     /// SACK scoreboard recovery (RFC 2018/3517) — what the paper's Linux
     /// testbed hosts ran.
     Sack,
@@ -38,6 +43,7 @@ impl CcKind {
             CcKind::Reno => Box::new(Reno),
             CcKind::NewReno => Box::new(NewReno),
             CcKind::Cubic => Box::new(Cubic::new(0.005)),
+            CcKind::Dctcp => Box::new(Dctcp),
             // simlint: allow(panic-in-kernel): documented constructor-misuse guard at setup time; unreachable from the event path
             CcKind::Sack => panic!("SACK is a sender machine; use make_machine"),
         }

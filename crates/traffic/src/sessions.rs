@@ -115,6 +115,7 @@ impl SessionSource {
                         flags: TcpFlags {
                             syn: seq == 0 && !retransmit,
                             fin,
+                            ..TcpFlags::default()
                         },
                         ts: ctx.now(),
                         sack: netsim::SackBlocks::EMPTY,

@@ -36,6 +36,26 @@ git diff --exit-code -- artifacts/simlint.json artifacts/simlint_baseline.json |
     exit 1
 }
 
+echo "==> doc drift gate (DESIGN.md sections referenced from other docs exist)"
+# README/EXPERIMENTS/RESULTS point readers at DESIGN.md sections by number
+# ("see DESIGN.md §13", "DESIGN.md §12.2"). Renumbering or deleting a
+# section silently strands those pointers; this resolves every reference
+# against DESIGN.md's actual headers. Dependency-free: grep only.
+doc_drift=0
+for ref in $(grep -ho 'DESIGN\.md §[0-9]\+\(\.[0-9]\+\)\?' \
+        README.md EXPERIMENTS.md RESULTS.md | grep -o '[0-9.]\+$' | sort -u); do
+    case "$ref" in
+        *.*) pattern="^### $ref " ;;
+        *)   pattern="^## $ref\. " ;;
+    esac
+    if ! grep -q "$pattern" DESIGN.md; then
+        echo "dangling reference: 'DESIGN.md §$ref' cited but no such header in DESIGN.md" >&2
+        doc_drift=1
+    fi
+done
+[ "$doc_drift" -eq 0 ] || exit 1
+echo "all DESIGN.md section references resolve"
+
 echo "==> quick bench arm (cell grid; BENCH_sweep.json staleness gate)"
 # Re-runs the bench_sweep cell grid (no --repro) to a scratch path. The
 # per-class event dispatch counts are deterministic for the fixed grid, so

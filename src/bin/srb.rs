@@ -35,7 +35,7 @@ fn parse_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  srb size      --rate-gbps <g> --rtt-ms <ms> --flows <n>\n  \
-         srb longflow  --rate-mbps <m> --flows <n> --buffer <pkts> [--cc reno|newreno|cubic|sack] [--seconds <s>] [--seed <k>]\n  \
+         srb longflow  --rate-mbps <m> --flows <n> --buffer <pkts> [--cc reno|newreno|cubic|sack|dctcp] [--ecn-mark <pkts>] [--seconds <s>] [--seed <k>]\n  \
          srb shortflow --rate-mbps <m> --load <0..1> --len <segments> --buffer <pkts> [--seconds <s>]\n  \
          srb single    --rate-mbps <m> --rtt-ms <ms> --factor <xBDP>"
     );
@@ -72,6 +72,7 @@ fn cmd_longflow(args: &[String]) {
         "reno" => CcKind::Reno,
         "newreno" => CcKind::NewReno,
         "cubic" => CcKind::Cubic,
+        "dctcp" => CcKind::Dctcp,
         "sack" => CcKind::Sack,
         other => {
             eprintln!("unknown --cc {other}");
@@ -89,6 +90,13 @@ fn cmd_longflow(args: &[String]) {
     let buffer = parse_flag(args, "--buffer")
         .unwrap_or_else(|| SqrtNRule::buffer_packets(bdp, n).round());
     sc.buffer_pkts = buffer as usize;
+    // CE-mark instead of dropping at the given depth; DCTCP wants this
+    // (RFC 8257 suggests K of roughly BDP/7) but any CCA accepts it.
+    if let Some(k) = parse_flag(args, "--ecn-mark") {
+        sc.ecn_marking = Some((k as usize).max(1));
+    } else if cc == CcKind::Dctcp {
+        eprintln!("note: dctcp without --ecn-mark <pkts> never sees a CE mark and falls back to loss-based behavior");
+    }
     let model = GaussianWindowModel::new(bdp, n);
     println!(
         "simulating {n} x {:?} flows over {:.0} Mb/s, buffer {} pkts (BDP = {bdp:.0}, BDP/sqrt(n) = {:.0})…",
@@ -98,7 +106,7 @@ fn cmd_longflow(args: &[String]) {
         SqrtNRule::buffer_packets(bdp, n)
     );
     let r = sc.run();
-    println!(
+    print!(
         "  utilization {:.2}% (model: {:.2}%) | loss {:.3}% | mean queue {:.0} pkts | timeouts {}",
         r.utilization * 100.0,
         model.utilization(buffer) * 100.0,
@@ -106,6 +114,10 @@ fn cmd_longflow(args: &[String]) {
         r.mean_queue,
         r.timeouts
     );
+    if r.marks > 0 {
+        print!(" | CE marks {}", r.marks);
+    }
+    println!();
 }
 
 fn cmd_shortflow(args: &[String]) {
