@@ -87,7 +87,8 @@ pub fn write_single_flow(name: &str, quick: bool, cfg: &SingleFlowConfig, tr: &S
         .param("two_way_prop_ms", cfg.two_way_prop.as_millis_f64())
         .param("duration_s", cfg.duration.as_secs_f64())
         .param("warmup_s", cfg.warmup.as_secs_f64())
-        .telemetry(tr.telemetry_digest);
+        .telemetry(tr.telemetry_digest)
+        .metrics(Some(tr.metrics_digest));
     let data = Json::obj()
         .with("bdp_packets", Json::Num(tr.bdp_packets))
         .with("buffer_pkts", Json::Num(tr.buffer_pkts as f64))
@@ -100,6 +101,31 @@ pub fn write_single_flow(name: &str, quick: bool, cfg: &SingleFlowConfig, tr: &S
     std::fs::write(&sidecar, &tr.telemetry_jsonl)
         .unwrap_or_else(|e| panic!("writing {}: {e}", sidecar.display()));
     println!("(telemetry written to {})", sidecar.display());
+    write_trace_if_requested(tr);
+}
+
+/// When `--trace <path>` was passed, exports the run's deterministic
+/// sim-time timeline there as Chrome Trace Event Format JSON (open in
+/// Perfetto or `chrome://tracing`). A no-op without the flag, so artifact
+/// regeneration never writes traces unasked.
+pub fn write_trace_if_requested(tr: &SingleFlowTrace) {
+    let Some(path) = crate::str_flag("--trace") else {
+        return;
+    };
+    let trace = buffersizing::traceexport::single_flow_trace(tr);
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+        }
+    }
+    std::fs::write(&path, trace.render())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "(Perfetto trace written to {path} — {} events, digest {:016x})",
+        trace.len(),
+        trace.digest()
+    );
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //! | `ext_ablation` | which ingredients create desynchronization |
 //! | `repro` | run everything |
 //! | `report` | regenerate RESULTS.md from `artifacts/*.json` |
+//! | `trace` | Perfetto/Chrome trace export (+ `--check` schema validation) |
 //!
 //! The figure/table binaries additionally write a manifest-stamped JSON
 //! artifact (see [`artifacts`]) that the `report` binary turns into
@@ -61,9 +62,14 @@ pub fn jobs_flag() -> usize {
 
 /// When `--csv <path>` was passed, returns the path to write CSV to.
 pub fn csv_flag() -> Option<String> {
+    str_flag("--csv")
+}
+
+/// Value of an arbitrary `<flag> <value>` command-line pair, when present.
+pub fn str_flag(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--csv")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
 }
@@ -277,6 +283,22 @@ pub mod harness {
         events: Option<&EventRates>,
         state: Option<&StateMarks>,
     ) -> String {
+        sweep_json_full(cores, sections, events, state, None)
+    }
+
+    /// [`sweep_json_report`] plus an optional `workers` block: the
+    /// per-worker accounting from one observed sweep
+    /// ([`buffersizing::exec::Executor::run_cells_observed`]) at the top
+    /// jobs level — cells computed, steals, busy/idle wall time. Honest
+    /// wall-clock numbers: machine- and scheduling-dependent, recorded for
+    /// trajectory, never part of any determinism claim.
+    pub fn sweep_json_full(
+        cores: usize,
+        sections: &[SweepSection],
+        events: Option<&EventRates>,
+        state: Option<&StateMarks>,
+        workers: Option<&buffersizing::exec::ExecReport>,
+    ) -> String {
         let mut out = sweep_json_sections(cores, sections);
         if let Some(ev) = events {
             let wall = ev.wall_s.max(1e-12);
@@ -322,6 +344,27 @@ pub mod harness {
                 st.probe_warm_wall_s
             ));
             out.push_str("    }\n  }");
+        }
+        if let Some(rep) = workers {
+            out.push_str(",\n  \"workers\": {\n");
+            out.push_str(&format!("    \"jobs\": {},\n", rep.jobs));
+            out.push_str(&format!(
+                "    \"wall_s\": {:.4},\n",
+                rep.wall_ns as f64 / 1e9
+            ));
+            out.push_str("    \"per_worker\": [\n");
+            for (i, w) in rep.workers.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"worker\": {}, \"cells\": {}, \"steals\": {}, \"busy_s\": {:.4}, \"idle_s\": {:.4}}}{}\n",
+                    w.worker,
+                    w.cells,
+                    w.steals,
+                    w.busy_ns as f64 / 1e9,
+                    w.idle_ns as f64 / 1e9,
+                    if i + 1 < rep.workers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
         }
         out.push_str("\n}\n");
         out
@@ -432,6 +475,27 @@ pub mod harness {
             assert!(json.contains("\"flow_table_high_water\": 8"));
             assert!(json.contains("\"hits\": 9"));
             assert!(json.contains("\"warm_wall_s\": 0.0010"));
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+        }
+
+        #[test]
+        fn workers_block_renders_the_observed_report() {
+            let (r, rep) = buffersizing::exec::Executor::new(2).run_cells_observed(4, |i| i);
+            assert_eq!(r, vec![0, 1, 2, 3]);
+            let s = super::SweepSection {
+                name: "demo".into(),
+                cells: 4,
+                samples: vec![super::SweepSample {
+                    jobs: 2,
+                    wall_s: 1.0,
+                    cells_per_s: 4.0,
+                }],
+            };
+            let json = super::sweep_json_full(2, &[s], None, None, Some(&rep));
+            assert!(json.contains("\"workers\": {"));
+            assert!(json.contains("\"per_worker\": ["));
+            assert!(json.contains("\"steals\":"));
             assert_eq!(json.matches('{').count(), json.matches('}').count());
             assert_eq!(json.matches('[').count(), json.matches(']').count());
         }

@@ -31,6 +31,7 @@
 // simlint: allow-file(wall-clock) — driver-layer worker pool: threads never run inside a simulation, they only distribute whole runs across cores
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Number of worker threads the machine supports (`--jobs` default).
 pub fn default_jobs() -> usize {
@@ -147,6 +148,172 @@ impl Executor {
         F: Fn(&T) -> R + Sync,
     {
         self.run_cells(items.len(), |i| f(&items[i]))
+    }
+
+    /// [`Executor::run_cells`] plus per-worker observability: cell counts,
+    /// steal counts, busy/idle wall time and per-cell wall durations,
+    /// returned as an [`ExecReport`] alongside the (identical) results.
+    ///
+    /// Observability here is *wall-clock by definition* — that is the point
+    /// of the report — so it lives behind this file's sanctioned waiver and
+    /// must never leak into results: the returned `Vec<R>` is computed by
+    /// exactly the same claim-and-reassemble scheme as `run_cells`, and
+    /// nothing from the report feeds back into any cell. The report goes to
+    /// bench artifacts (`BENCH_sweep.json` `workers` block, wall-time trace
+    /// tracks) which are machine-dependent and never committed.
+    pub fn run_cells_observed<R, F>(&self, n: usize, f: F) -> (Vec<R>, ExecReport)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        // An idle worker always takes the next undone cell, so any claim
+        // beyond an even ceil(n/workers) share counts as a steal: work the
+        // static split would have given to somebody else.
+        let workers = if n <= 1 { 1 } else { self.jobs.min(n) };
+        let share = n.div_ceil(workers.max(1));
+        let epoch = Instant::now();
+        if self.jobs == 1 || n <= 1 {
+            let mut stats = WorkerStats::new(0);
+            let results = (0..n)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let r = f(i);
+                    stats.record(i, epoch, t0, share);
+                    r
+                })
+                .collect();
+            let wall_ns = epoch.elapsed().as_nanos() as u64;
+            stats.idle_ns = wall_ns.saturating_sub(stats.busy_ns);
+            return (
+                results,
+                ExecReport {
+                    jobs: 1,
+                    wall_ns,
+                    workers: vec![stats],
+                },
+            );
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut stats = WorkerStats::new(w);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            out.push((i, f(i)));
+                            stats.record(i, epoch, t0, share);
+                        }
+                        let total = epoch.elapsed().as_nanos() as u64;
+                        stats.idle_ns = total.saturating_sub(stats.busy_ns);
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let wall_ns = epoch.elapsed().as_nanos() as u64;
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut per_worker = Vec::with_capacity(parts.len());
+        for (part, stats) in parts {
+            for (i, r) in part {
+                debug_assert!(slots[i].is_none(), "cell {i} computed twice");
+                slots[i] = Some(r);
+            }
+            per_worker.push(stats);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every cell claimed exactly once"))
+            .collect();
+        (
+            results,
+            ExecReport {
+                jobs: workers,
+                wall_ns,
+                workers: per_worker,
+            },
+        )
+    }
+
+    /// [`Executor::map`] with the per-worker [`ExecReport`]. See
+    /// [`Executor::run_cells_observed`].
+    pub fn map_observed<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecReport)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run_cells_observed(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Wall-clock observability for one observed sweep: what each worker did
+/// and when. Produced by [`Executor::run_cells_observed`]; consumed by the
+/// bench harness (`BENCH_sweep.json` `workers` block) and the wall-time
+/// trace exporter. Everything here is machine- and scheduling-dependent —
+/// explicitly outside every determinism claim and never committed.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Workers that actually ran (≤ the executor's configured width).
+    pub jobs: usize,
+    /// Wall time of the whole sweep, spawn to reassembly, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-worker accounting, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// One worker's accounting within an observed sweep.
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Cells this worker computed.
+    pub cells: u64,
+    /// Cells claimed beyond an even `ceil(n/workers)` share — work the
+    /// dynamic queue moved here from slower neighbours.
+    pub steals: u64,
+    /// Wall time spent inside cell closures, nanoseconds.
+    pub busy_ns: u64,
+    /// Wall time from sweep start to this worker's exit not spent in
+    /// cells (queue waits, scheduling gaps), nanoseconds.
+    pub idle_ns: u64,
+    /// `(cell index, start offset from sweep epoch, duration)` per
+    /// computed cell, nanoseconds — one wall-time trace slice each.
+    pub slices: Vec<(usize, u64, u64)>,
+}
+
+impl WorkerStats {
+    fn new(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            cells: 0,
+            steals: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+            slices: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, cell: usize, epoch: Instant, t0: Instant, share: usize) {
+        let dur = t0.elapsed().as_nanos() as u64;
+        let start = t0.duration_since(epoch).as_nanos() as u64;
+        self.cells += 1;
+        if self.cells as usize > share {
+            self.steals += 1;
+        }
+        self.busy_ns += dur;
+        self.slices.push((cell, start, dur));
     }
 }
 
@@ -270,5 +437,59 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn observed_results_match_plain_results_at_every_jobs_level() {
+        let plain = Executor::sequential().run_cells(17, |i| i * i);
+        for jobs in [1, 2, 4, 8] {
+            let (observed, report) = Executor::new(jobs).run_cells_observed(17, |i| i * i);
+            assert_eq!(observed, plain, "jobs={jobs}");
+            assert_eq!(report.jobs, jobs.min(17));
+            assert_eq!(report.workers.len(), report.jobs);
+            let cells: u64 = report.workers.iter().map(|w| w.cells).sum();
+            assert_eq!(cells, 17, "every cell accounted to exactly one worker");
+            let slices: usize = report.workers.iter().map(|w| w.slices.len()).sum();
+            assert_eq!(slices, 17);
+            for w in &report.workers {
+                assert_eq!(w.cells as usize, w.slices.len());
+                assert_eq!(w.busy_ns, w.slices.iter().map(|s| s.2).sum::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_observation_reports_one_worker_and_no_steals() {
+        let (r, report) = Executor::sequential().map_observed(&[3u64, 1, 4], |x| x + 1);
+        assert_eq!(r, vec![4, 2, 5]);
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].worker, 0);
+        assert_eq!(report.workers[0].cells, 3);
+        assert_eq!(report.workers[0].steals, 0, "one worker cannot steal");
+        // Slices carry the cell index in claim order.
+        let cells: Vec<usize> = report.workers[0].slices.iter().map(|s| s.0).collect();
+        assert_eq!(cells, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn steals_are_claims_beyond_the_even_share() {
+        // 4 cells over 2 workers: the even share is 2 each, so total steals
+        // can only come from one worker doing 3+ while the other lags.
+        let (_, report) = Executor::new(2).run_cells_observed(4, |i| i);
+        let total: u64 = report.workers.iter().map(|w| w.cells).sum();
+        assert_eq!(total, 4);
+        for w in &report.workers {
+            assert_eq!(w.steals, (w.cells).saturating_sub(2));
+        }
+    }
+
+    #[test]
+    fn empty_observed_sweep_reports_a_single_idle_worker() {
+        let (r, report) = Executor::new(4).run_cells_observed(0, |i| i);
+        assert!(r.is_empty());
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].cells, 0);
     }
 }

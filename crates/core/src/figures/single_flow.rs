@@ -3,11 +3,11 @@
 //! over-buffered routers.
 
 use crate::report::ascii_plot;
-use netsim::{DumbbellBuilder, QueueCapacity, Sim, TelemetryConfig};
-use simcore::{SimDuration, SimTime, TracePoint};
+use netsim::{DropLedger, DumbbellBuilder, ForensicsConfig, QueueCapacity, Sim, TelemetryConfig};
+use simcore::{Profile, Registry, SimDuration, SimTime, TracePoint};
 use stats::TimeSeries;
 use tcpsim::cc::Reno;
-use tcpsim::{TcpConfig, TcpSink, TcpSource};
+use tcpsim::{SpanLog, TcpConfig, TcpSink, TcpSource};
 
 /// Configuration for the single-flow dynamics experiment.
 #[derive(Clone, Debug)]
@@ -67,6 +67,12 @@ impl SingleFlowConfig {
     pub fn run(&self) -> SingleFlowTrace {
         let mut sim = Sim::new(self.seed);
         sim.enable_tracing();
+        // The full observer stack rides along (forensics, lifecycle spans,
+        // the self-profiler): all pure observers, so the telemetry digests
+        // and plots are identical to a bare run, and the trace exporter
+        // (`crate::traceexport`) gets every store in one pass.
+        sim.enable_drop_forensics(ForensicsConfig::new(self.two_way_prop));
+        sim.enable_profiler();
         // Access delay so that 2*(access + bottleneck) = two_way_prop; put
         // everything on the bottleneck's propagation for a single flow.
         let one_way = self.two_way_prop / 2;
@@ -77,7 +83,8 @@ impl SingleFlowConfig {
         let flow = netsim::FlowId(0);
         let cfg = TcpConfig::default();
         let source = TcpSource::new(flow, d.sinks[0], cfg, Box::new(Reno), None)
-            .with_cwnd_trace();
+            .with_cwnd_trace()
+            .with_span_log(1024);
         let src_id = sim.add_agent(d.sources[0], Box::new(source));
         let sink_id = sim.add_agent(d.sinks[0], Box::new(TcpSink::new(flow, &cfg)));
         sim.bind_flow(flow, d.sinks[0], sink_id);
@@ -132,6 +139,14 @@ impl SingleFlowConfig {
             None => (Vec::new(), None, String::new()),
         };
 
+        let spans = sim
+            .agent_as::<TcpSource>(src_id)
+            .expect("source")
+            .span_log()
+            .cloned()
+            .unwrap_or_else(|| SpanLog::new(1));
+        let metrics = sim.metrics();
+
         SingleFlowTrace {
             bdp_packets: self.bdp_packets(),
             buffer_pkts: self.buffer_pkts(),
@@ -143,6 +158,11 @@ impl SingleFlowConfig {
             telemetry,
             telemetry_digest,
             telemetry_jsonl,
+            spans,
+            ledger: sim.forensics().cloned(),
+            profile: sim.profile(),
+            metrics_digest: metrics.digest(),
+            metrics,
         }
     }
 }
@@ -173,6 +193,18 @@ pub struct SingleFlowTrace {
     pub telemetry_digest: Option<u64>,
     /// Telemetry export as JSON Lines, one sample per line.
     pub telemetry_jsonl: String,
+    /// The flow's lifecycle span log (fast retransmits, RTOs, slow-start
+    /// and recovery exits), oldest first.
+    pub spans: SpanLog,
+    /// The drop-forensics ledger (per-reason totals, interval drop counts,
+    /// synchronized-loss episodes).
+    pub ledger: Option<DropLedger>,
+    /// Self-profiler snapshot (per-event-class dispatch counts).
+    pub profile: Option<Profile>,
+    /// Unified metrics-registry snapshot ([`netsim::Sim::metrics`]).
+    pub metrics: Registry,
+    /// FNV-1a digest of `metrics` — the value the run manifest records.
+    pub metrics_digest: u64,
 }
 
 impl SingleFlowTrace {

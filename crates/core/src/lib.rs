@@ -42,6 +42,7 @@ pub mod report;
 pub mod runner;
 pub mod search;
 pub mod sync;
+pub mod traceexport;
 
 pub use exec::Executor;
 pub use json::Json;

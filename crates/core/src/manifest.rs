@@ -53,6 +53,12 @@ pub struct RunManifest {
     /// configuration (the profiler counts sim-time quantities only), so it
     /// keeps the byte-identical-artifacts guarantee.
     pub profile_digest: Option<u64>,
+    /// FNV-1a digest of the unified metrics registry snapshot
+    /// ([`netsim::Sim::metrics`]), when the run exported one. Unlike the
+    /// three digests above this key is *omitted* from the JSON when absent
+    /// (not rendered as `null`): the field post-dates the schema, and
+    /// emitting it unconditionally would rewrite every committed artifact.
+    pub metrics_digest: Option<u64>,
 }
 
 /// The simulation crates in dependency order, with the (single) workspace
@@ -86,6 +92,7 @@ impl RunManifest {
             packet_log_digest: None,
             telemetry_digest: None,
             profile_digest: None,
+            metrics_digest: None,
         }
     }
 
@@ -113,6 +120,12 @@ impl RunManifest {
         self
     }
 
+    /// Sets the metrics-registry digest (builder style).
+    pub fn metrics(mut self, digest: Option<u64>) -> Self {
+        self.metrics_digest = digest;
+        self
+    }
+
     /// Serializes to the schema above.
     pub fn to_json(&self) -> Json {
         let digest = |d: Option<u64>| match d {
@@ -128,7 +141,7 @@ impl RunManifest {
                     .collect(),
             )
         };
-        Json::obj()
+        let mut j = Json::obj()
             .with("artifact", Json::Str(self.artifact.clone()))
             .with("scale", Json::Str(self.scale.clone()))
             .with("seed", Json::Num(self.seed as f64))
@@ -136,7 +149,14 @@ impl RunManifest {
             .with("crates", pairs(&self.crates))
             .with("packet_log_digest", digest(self.packet_log_digest))
             .with("telemetry_digest", digest(self.telemetry_digest))
-            .with("profile_digest", digest(self.profile_digest))
+            .with("profile_digest", digest(self.profile_digest));
+        // Post-schema key: present only when the run exported a registry,
+        // so every artifact written before the metrics layer existed stays
+        // byte-identical.
+        if self.metrics_digest.is_some() {
+            j = j.with("metrics_digest", digest(self.metrics_digest));
+        }
+        j
     }
 
     /// Reads a manifest back from its JSON form.
@@ -168,6 +188,7 @@ impl RunManifest {
             packet_log_digest: digest("packet_log_digest"),
             telemetry_digest: digest("telemetry_digest"),
             profile_digest: digest("profile_digest"),
+            metrics_digest: digest("metrics_digest"),
         })
     }
 
@@ -190,6 +211,9 @@ impl RunManifest {
         }
         if let Some(d) = self.profile_digest {
             s.push_str(&format!(", profile digest `{d:016x}`"));
+        }
+        if let Some(d) = self.metrics_digest {
+            s.push_str(&format!(", metrics digest `{d:016x}`"));
         }
         if !self.params.is_empty() {
             let kv: Vec<String> = self
@@ -233,6 +257,20 @@ mod tests {
         assert_eq!(j.get("profile_digest"), Some(&Json::Null));
         let with_prof = sample().profile(Some(0xfeed)).to_json();
         assert_eq!(with_prof.str("profile_digest"), Some("000000000000feed"));
+    }
+
+    #[test]
+    fn metrics_digest_is_omitted_when_absent() {
+        // The metrics key post-dates the schema: absent means *no key*, not
+        // null, so pre-metrics artifacts stay byte-identical.
+        let j = sample().to_json();
+        assert_eq!(j.get("metrics_digest"), None);
+        assert!(!j.render().contains("metrics_digest"));
+        let with = sample().metrics(Some(0xbeef));
+        assert_eq!(with.to_json().str("metrics_digest"), Some("000000000000beef"));
+        let back = RunManifest::from_json(&with.to_json()).unwrap();
+        assert_eq!(back, with);
+        assert!(with.footnote().contains("metrics digest `000000000000beef`"));
     }
 
     #[test]

@@ -420,6 +420,7 @@ impl LongFlowScenario {
             ledger: sim.forensics().expect("forensics enabled").clone(),
             spans,
             profile,
+            metrics: sim.metrics(),
             bottleneck: dumbbell.bottleneck,
         }
     }
@@ -446,6 +447,8 @@ pub struct TracedRun {
     pub spans: SpanLog,
     /// Self-profiler snapshot.
     pub profile: Profile,
+    /// Unified metrics-registry snapshot ([`netsim::Sim::metrics`]).
+    pub metrics: simcore::Registry,
     /// The bottleneck link id (drops on other links are access-side).
     pub bottleneck: LinkId,
 }

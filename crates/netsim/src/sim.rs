@@ -20,12 +20,13 @@
 
 use crate::auditor::Auditor;
 use crate::eventlog::{PacketEvent, PacketLog, PacketRecord};
-use crate::forensics::{DropLedger, DropReason, ForensicsConfig};
+use crate::forensics::{DropLedger, DropReason, ForensicsConfig, MarkReason};
 use crate::link::Link;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::node::{Node, NodeKind};
 use crate::packet::{Ecn, FlowId, Packet, PacketArena, PacketKind, PacketRef};
 use crate::queue::{QueueCapacity, QueuedPacket};
+use simcore::metrics::{CounterId, Registry};
 use simcore::trace::TraceSink;
 use simcore::{Profile, Rng, Scheduler, SchedulerKind, SimDuration, SimTime};
 use std::any::Any;
@@ -131,6 +132,12 @@ impl Event {
 }
 
 /// Global kernel counters.
+///
+/// Since the unified metrics layer (DESIGN.md §14) this struct is a *view*:
+/// the authoritative storage is the kernel's [`Registry`], where each field
+/// lives as a `kernel.*` counter; [`Kernel::stats`] reconstructs the struct
+/// on demand. The shape (and therefore every caller and committed artifact)
+/// is unchanged.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct KernelStats {
     /// Events processed.
@@ -148,6 +155,50 @@ pub struct KernelStats {
     /// unless an ECN-enabled queue and ECT traffic are both present).
     pub marks: u64,
 }
+
+/// Registry handles for the kernel's global counters, one per
+/// [`KernelStats`] field. Registered once at [`Sim::new`]; every hot-path
+/// increment goes through these (one array add, no allocation).
+#[derive(Clone, Copy, Debug)]
+struct KernelMetricIds {
+    events: CounterId,
+    forwarded: CounterId,
+    delivered: CounterId,
+    unroutable: CounterId,
+    drops: CounterId,
+    marks: CounterId,
+}
+
+impl KernelMetricIds {
+    fn register(r: &mut Registry) -> Self {
+        KernelMetricIds {
+            events: r.counter("kernel.events"),
+            forwarded: r.counter("kernel.forwarded"),
+            delivered: r.counter("kernel.delivered"),
+            unroutable: r.counter("kernel.unroutable"),
+            drops: r.counter("kernel.drops"),
+            marks: r.counter("kernel.marks"),
+        }
+    }
+}
+
+/// Registry counter names for [`DropReason::ALL`], in code order (the
+/// registry needs `&'static str` names; a test pins the correspondence).
+const DROP_REASON_METRIC_NAMES: [&str; 5] = [
+    "drops.tail-overflow",
+    "drops.red-early",
+    "drops.red-forced",
+    "drops.drr-policy",
+    "drops.random-loss",
+];
+
+/// Registry counter names for [`MarkReason::ALL`], in code order.
+const MARK_REASON_METRIC_NAMES: [&str; 4] = [
+    "marks.ecn-threshold",
+    "marks.ecn-step",
+    "marks.ecn-red-early",
+    "marks.ecn-red-forced",
+];
 
 /// Per-flow network-level counters (indexed by [`FlowId`]).
 #[derive(Clone, Copy, Debug, Default)]
@@ -181,7 +232,11 @@ pub struct Kernel {
     rng: Rng,
     trace: TraceSink,
     next_uid: u64,
-    stats: KernelStats,
+    /// Authoritative storage for the global counters (DESIGN.md §14);
+    /// [`KernelStats`] is reconstructed from it on demand.
+    metrics: Registry,
+    /// Pre-registered handles into `metrics` for the hot-path increments.
+    mx: KernelMetricIds,
     flow_stats: Vec<FlowNetStats>,
     send_jitter: Option<SimDuration>,
     packet_log: Option<PacketLog>,
@@ -244,9 +299,23 @@ impl Kernel {
         &mut self.nodes[id.idx()]
     }
 
-    /// Global counters.
+    /// Global counters, reconstructed as a [`KernelStats`] view over the
+    /// unified metrics registry.
     pub fn stats(&self) -> KernelStats {
-        self.stats
+        KernelStats {
+            events: self.metrics.counter_value(self.mx.events),
+            forwarded: self.metrics.counter_value(self.mx.forwarded),
+            delivered: self.metrics.counter_value(self.mx.delivered),
+            unroutable: self.metrics.counter_value(self.mx.unroutable),
+            drops: self.metrics.counter_value(self.mx.drops),
+            marks: self.metrics.counter_value(self.mx.marks),
+        }
+    }
+
+    /// The kernel's metrics registry (the authoritative counter storage;
+    /// see [`Sim::metrics`] for the enriched whole-simulation snapshot).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Per-flow counters (zeros for flows that never appeared).
@@ -394,7 +463,7 @@ impl Kernel {
         reason: DropReason,
         depth: u32,
     ) {
-        self.stats.drops += 1;
+        self.metrics.inc(self.mx.drops); // simlint: hot-path
         let p = self.arena.get(pref);
         let (uid, flow, is_data) = (p.uid, p.flow, p.kind.is_tcp_data());
         let fs = self.flow_stats_mut(flow);
@@ -421,7 +490,7 @@ impl Kernel {
     fn inject<const OBS: bool>(&mut self, node: NodeId, pref: PacketRef) {
         let dst = self.arena.get(pref).dst;
         let Some(lid) = self.nodes[node.idx()].routes.lookup(dst) else {
-            self.stats.unroutable += 1;
+            self.metrics.inc(self.mx.unroutable); // simlint: hot-path
             if OBS {
                 if let Some(a) = &mut self.auditor {
                     a.on_unroutable();
@@ -479,7 +548,7 @@ impl Kernel {
                     // digests untouched) on ECN-off runs.
                     if let Some(mreason) = link.queue.take_mark() {
                         self.arena.get_mut(pref).ecn = Ecn::Ce;
-                        self.stats.marks += 1;
+                        self.metrics.inc(self.mx.marks); // simlint: hot-path
                         if OBS {
                             self.log_packet::<OBS>(
                                 uid,
@@ -693,6 +762,8 @@ impl Sim {
     /// [`simcore::event`]) and produce bit-identical results; `Heap` is
     /// retained as a differential oracle and fallback.
     pub fn with_scheduler(seed: u64, scheduler: SchedulerKind) -> Self {
+        let mut registry = Registry::new();
+        let mx = KernelMetricIds::register(&mut registry);
         Sim {
             kernel: Kernel {
                 now: SimTime::ZERO,
@@ -704,7 +775,8 @@ impl Sim {
                 rng: Rng::new(seed),
                 trace: TraceSink::new(false),
                 next_uid: 0,
-                stats: KernelStats::default(),
+                metrics: registry,
+                mx,
                 flow_stats: Vec::new(),
                 send_jitter: None,
                 packet_log: None,
@@ -898,7 +970,7 @@ impl Sim {
             }
             self.kernel.now = t;
             for ev in batch.drain(..) {
-                self.kernel.stats.events += 1;
+                self.kernel.metrics.inc(self.kernel.mx.events); // simlint: hot-path
                 if OBS {
                     if let Some(p) = &mut self.kernel.prof {
                         p.on_dispatch(ev.class(), t.as_nanos());
@@ -927,7 +999,7 @@ impl Sim {
                 let node = self.kernel.links[link.idx()].to;
                 match self.kernel.nodes[node.idx()].kind {
                     NodeKind::Router => {
-                        self.kernel.stats.forwarded += 1;
+                        self.kernel.metrics.inc(self.kernel.mx.forwarded); // simlint: hot-path
                         self.kernel.inject::<OBS>(node, packet);
                     }
                     NodeKind::Host => {
@@ -940,7 +1012,7 @@ impl Sim {
                             .map(|&(_, a)| a);
                         match bound {
                             Some(aid) => {
-                                self.kernel.stats.delivered += 1;
+                                self.kernel.metrics.inc(self.kernel.mx.delivered); // simlint: hot-path
                                 self.kernel.flow_stats_mut(flow).delivered += 1;
                                 if OBS {
                                     let uid = self.kernel.arena.get(packet).uid;
@@ -954,7 +1026,7 @@ impl Sim {
                                 self.dispatch_packet(aid, pkt);
                             }
                             None => {
-                                self.kernel.stats.unroutable += 1;
+                                self.kernel.metrics.inc(self.kernel.mx.unroutable); // simlint: hot-path
                                 if OBS {
                                     if let Some(a) = &mut self.kernel.auditor {
                                         a.on_unroutable();
@@ -1075,6 +1147,48 @@ impl Sim {
         p.set_queue_stats(self.kernel.events.depth_high_water() as u64, calls, slots);
         p.set_state_high_water(self.kernel.arena_high_water() as u64, 0);
         Some(p)
+    }
+
+    /// A whole-simulation [`Registry`] snapshot (DESIGN.md §14): the
+    /// kernel's live counters plus derived link totals, the packet-arena
+    /// high-water gauge, a log2 histogram of per-link peak queue depths,
+    /// and — when forensics is enabled — per-reason drop/mark counters and
+    /// the synchronized-loss episode count.
+    ///
+    /// Everything folded in is a deterministic function of the event
+    /// stream, so the snapshot (and its digest) is bit-identical across
+    /// repeated runs and `--jobs` levels. Taking the snapshot never
+    /// mutates simulation state.
+    pub fn metrics(&self) -> Registry {
+        let mut r = self.kernel.metrics.clone();
+        let tx_packets = r.counter("links.tx_packets");
+        let tx_bytes = r.counter("links.tx_bytes");
+        let drops = r.counter("links.drops");
+        let offered = r.counter("links.offered");
+        let arena = r.gauge("arena.slots");
+        let queue_peak = r.hist("links.queue_peak");
+        for link in &self.kernel.links {
+            let t = link.monitor.totals();
+            r.add(tx_packets, t.tx_packets);
+            r.add(tx_bytes, t.tx_bytes);
+            r.add(drops, t.drops);
+            r.add(offered, t.offered);
+            r.observe(queue_peak, link.monitor.max_queue() as u64);
+        }
+        r.set(arena, self.kernel.arena_high_water() as u64);
+        if let Some(led) = &self.kernel.forensics {
+            for (i, reason) in DropReason::ALL.iter().enumerate() {
+                let id = r.counter(DROP_REASON_METRIC_NAMES[i]);
+                r.add(id, led.by_reason(*reason));
+            }
+            for (i, reason) in MarkReason::ALL.iter().enumerate() {
+                let id = r.counter(MARK_REASON_METRIC_NAMES[i]);
+                r.add(id, led.marks_by_reason(*reason));
+            }
+            let episodes = r.counter("forensics.sync_episodes");
+            r.add(episodes, led.episodes().len() as u64);
+        }
+        r
     }
 
     /// Enables periodic queue sampling (links opt in via
@@ -1552,6 +1666,65 @@ mod tests {
         assert!(!series.is_empty());
         // Early samples should see a substantial backlog.
         assert!(series.iter().any(|p| p.value > 10.0));
+    }
+
+    #[test]
+    fn reason_metric_names_match_reason_tables() {
+        // The registry needs `&'static str` names, so the per-reason counter
+        // names are a hand-maintained table; pin it to the enums.
+        for (i, reason) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(
+                DROP_REASON_METRIC_NAMES[i],
+                format!("drops.{}", reason.name())
+            );
+        }
+        for (i, reason) in MarkReason::ALL.iter().enumerate() {
+            assert_eq!(
+                MARK_REASON_METRIC_NAMES[i],
+                format!("marks.{}", reason.name())
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_stats_and_monitors() {
+        // Same burst as `queue_drops_excess_burst`: 3 delivered, 2 dropped.
+        let (mut sim, h0, h1, lid) = two_host_sim(2);
+        sim.enable_drop_forensics(ForensicsConfig::new(SimDuration::from_millis(20)));
+        let src = UdpSource {
+            flow: FlowId(0),
+            dst: h1,
+            count: 5,
+            size: 1000,
+            gap: SimDuration::ZERO,
+            sent: 0,
+        };
+        sim.add_agent(h0, Box::new(src));
+        let sink_id = sim.add_agent(h1, Box::new(UdpSink::default()));
+        sim.bind_flow(FlowId(0), h1, sink_id);
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+
+        let m = sim.metrics();
+        let stats = sim.kernel().stats();
+        assert_eq!(m.counter_by_name("kernel.events"), stats.events);
+        assert_eq!(m.counter_by_name("kernel.delivered"), 3);
+        assert_eq!(m.counter_by_name("kernel.drops"), 2);
+        assert_eq!(m.counter_by_name("kernel.marks"), 0);
+        let totals = sim.kernel().link(lid).monitor.totals();
+        assert_eq!(m.counter_by_name("links.tx_packets"), totals.tx_packets);
+        assert_eq!(m.counter_by_name("links.tx_bytes"), totals.tx_bytes);
+        assert_eq!(m.counter_by_name("links.drops"), 2);
+        assert_eq!(m.counter_by_name("links.offered"), totals.offered);
+        assert_eq!(m.counter_by_name("drops.tail-overflow"), 2);
+        assert_eq!(m.counter_by_name("drops.red-early"), 0);
+        // The snapshot is a pure read: taking it twice gives the same digest
+        // and does not disturb the kernel registry.
+        assert_eq!(m.digest(), sim.metrics().digest());
+        assert_eq!(sim.kernel().stats().drops, 2);
+        let rows = m.rows();
+        assert!(rows.iter().any(|(k, _)| k == "arena.slots"));
+        assert!(rows.iter().any(|(k, _)| k.starts_with("links.queue_peak.log2_")));
     }
 }
 

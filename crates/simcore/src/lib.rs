@@ -24,18 +24,22 @@
 #![deny(missing_docs)]
 pub mod dist;
 pub mod event;
+pub mod metrics;
 pub mod prof;
 pub mod rng;
 pub mod sched;
 pub mod time;
 pub mod trace;
+pub mod traceviz;
 pub mod wheel;
 
 pub use dist::{Exponential, LogNormal, Normal, Pareto, Uniform, Weibull};
 pub use event::EventQueue;
+pub use metrics::Registry;
 pub use prof::Profile;
 pub use rng::Rng;
 pub use sched::{Scheduler, SchedulerKind};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Ring, TracePoint, TraceSink};
+pub use traceviz::TraceBuilder;
 pub use wheel::TimerWheel;

@@ -85,6 +85,22 @@ pub struct SpanRecord {
     pub snd_una: u64,
 }
 
+impl SpanRecord {
+    /// The record's window evidence as Chrome-trace instant arguments, in
+    /// the order the trace exporter (`buffersizing::traceexport`) emits
+    /// them. Lives here so the meaning of each field and its trace label
+    /// stay in one place.
+    pub fn trace_args(&self) -> Vec<(&'static str, simcore::traceviz::ArgValue)> {
+        use simcore::traceviz::ArgValue;
+        vec![
+            ("cwnd_before", ArgValue::F64(self.cwnd_before)),
+            ("cwnd_after", ArgValue::F64(self.cwnd_after)),
+            ("ssthresh", ArgValue::F64(self.ssthresh_after)),
+            ("snd_una", ArgValue::U64(self.snd_una)),
+        ]
+    }
+}
+
 /// A bounded, ring-buffered log of [`SpanRecord`]s.
 #[derive(Clone, Debug)]
 pub struct SpanLog {

@@ -2,9 +2,14 @@
 # Regenerates the machine-readable perf baseline: builds release binaries,
 # runs the parallel-sweep benchmark (cell grid with the self-profiler off
 # and on — the profiled arm checks the <= 5% overhead contract of
-# DESIGN.md §10 — plus full `repro --quick`) at --jobs 1 vs --jobs N, and
-# writes artifacts/BENCH_sweep.json. Fully offline; run from anywhere
-# inside the repo.
+# DESIGN.md §10, which since the unified metrics registry (DESIGN.md §14)
+# covers the whole observability layer: the registry's allocation-free
+# increments ride in *both* arms as part of the kernel fast path, so the
+# staleness-gated cells/s trajectory bounds their cost, and the profiled
+# arm bounds the optional profiler on top — plus full `repro --quick`) at
+# --jobs 1 vs --jobs N, and writes artifacts/BENCH_sweep.json, including
+# the per-worker `workers` block from one observed sweep. Fully offline;
+# run from anywhere inside the repo.
 #
 # Note: the repro arm rewrites artifacts/ at --quick scale; restore the
 # committed full-scale artifacts afterwards (git checkout -- artifacts)

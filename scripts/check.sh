@@ -56,6 +56,16 @@ done
 [ "$doc_drift" -eq 0 ] || exit 1
 echo "all DESIGN.md section references resolve"
 
+echo "==> trace validity gate (Perfetto export loads: schema, monotone ts, balanced B/E)"
+# Exports a fresh quick-scale trace to target/ (never touches artifacts/)
+# and runs the in-tree Chrome-trace checker — required keys on every
+# event, per-track monotone timestamps, balanced B/E pairs — on both the
+# fresh export and the committed full-scale artifact. The committed
+# trace's bytes themselves are pinned by tests/trace_export.rs.
+./target/release/trace --quick --out target/fig03.trace.quick.json
+./target/release/trace --check target/fig03.trace.quick.json
+./target/release/trace --check artifacts/fig03.trace.json
+
 echo "==> quick bench arm (cell grid; BENCH_sweep.json staleness gate)"
 # Re-runs the bench_sweep cell grid (no --repro) to a scratch path. The
 # per-class event dispatch counts are deterministic for the fixed grid, so

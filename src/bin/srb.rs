@@ -12,6 +12,11 @@
 //! Every subcommand prints both the relevant analytical model and (for the
 //! simulation subcommands) the measured result, so the tool doubles as a
 //! sanity check of the theory against the simulator.
+//!
+//! `longflow` and `single` additionally accept `--trace <path>` to export
+//! the run's deterministic sim-time timeline (telemetry counters, flow
+//! lifecycle spans, loss episodes, profiler data) as Chrome Trace Event
+//! Format JSON, openable at <https://ui.perfetto.dev>.
 
 use buffersizing::figures::single_flow::SingleFlowConfig;
 use buffersizing::prelude::*;
@@ -32,12 +37,21 @@ fn parse_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+fn write_trace(path: &str, trace: simcore::TraceBuilder) {
+    std::fs::write(path, trace.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "(Perfetto trace written to {path} — {} events, digest {:016x})",
+        trace.len(),
+        trace.digest()
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  srb size      --rate-gbps <g> --rtt-ms <ms> --flows <n>\n  \
-         srb longflow  --rate-mbps <m> --flows <n> --buffer <pkts> [--cc reno|newreno|cubic|sack|dctcp] [--ecn-mark <pkts>] [--seconds <s>] [--seed <k>]\n  \
+         srb longflow  --rate-mbps <m> --flows <n> --buffer <pkts> [--cc reno|newreno|cubic|sack|dctcp] [--ecn-mark <pkts>] [--seconds <s>] [--seed <k>] [--trace <path>]\n  \
          srb shortflow --rate-mbps <m> --load <0..1> --len <segments> --buffer <pkts> [--seconds <s>]\n  \
-         srb single    --rate-mbps <m> --rtt-ms <ms> --factor <xBDP>"
+         srb single    --rate-mbps <m> --rtt-ms <ms> --factor <xBDP> [--trace <path>]"
     );
     std::process::exit(2);
 }
@@ -105,7 +119,17 @@ fn cmd_longflow(args: &[String]) {
         sc.buffer_pkts,
         SqrtNRule::buffer_packets(bdp, n)
     );
-    let r = sc.run();
+    // With --trace, run through the traced harness (forensics + spans +
+    // profiler are pure observers, so the printed numbers are identical)
+    // and export the sim-time timeline.
+    let r = match parse_str(args, "--trace") {
+        Some(path) => {
+            let traced = sc.run_traced(65_536);
+            write_trace(path, buffersizing::traceexport::traced_run_trace(&traced));
+            traced.result
+        }
+        None => sc.run(),
+    };
     print!(
         "  utilization {:.2}% (model: {:.2}%) | loss {:.3}% | mean queue {:.0} pkts | timeouts {}",
         r.utilization * 100.0,
@@ -159,6 +183,9 @@ fn cmd_single(args: &[String]) {
     let tr = cfg.run();
     println!("{}", tr.render(&format!("single flow, buffer = {factor} x BDP")));
     println!("model utilization for this buffer: {:.2}%", model * 100.0);
+    if let Some(path) = parse_str(args, "--trace") {
+        write_trace(path, buffersizing::traceexport::single_flow_trace(&tr));
+    }
 }
 
 fn main() {

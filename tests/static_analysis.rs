@@ -101,14 +101,16 @@ fn rule_inventory_is_pinned() {
 /// functions marked `// simlint: hot-path`. That makes the marker inventory
 /// part of the contract — if the markers disappeared, the rule would pass
 /// vacuously. Pin the files that must carry markers (the event loop, both
-/// scheduler implementations, link dispatch, and the per-ACK sender
-/// machinery) and a floor on the total count.
+/// scheduler implementations, link dispatch, the per-ACK sender
+/// machinery, and the metrics registry's increment paths) and a floor on
+/// the total count.
 #[test]
 fn hot_path_marker_inventory_is_pinned() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let must_mark = [
         "crates/simcore/src/event.rs",
         "crates/simcore/src/wheel.rs",
+        "crates/simcore/src/metrics.rs",
         "crates/netsim/src/sim.rs",
         "crates/tcpsim/src/agent.rs",
         "crates/tcpsim/src/sender.rs",
